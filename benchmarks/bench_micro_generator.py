@@ -1,0 +1,27 @@
+"""Micro-benchmarks: task-set generation and utilization-vector draws."""
+
+import numpy as np
+
+from repro.generator import MCTaskSetGenerator, randfixedsum, uunifast_discard
+from repro.util import derive_rng
+
+
+def test_bench_generate_taskset(benchmark):
+    gen = MCTaskSetGenerator(m=4)
+    rng = derive_rng("bench-gen")
+    ts = benchmark(gen.generate, rng, 0.6, 0.3, 0.3)
+    assert ts is not None
+
+
+def test_bench_uunifast_discard_easy(benchmark):
+    rng = np.random.default_rng(0)
+    values = benchmark(uunifast_discard, rng, 10, 3.0, 0.001, 0.99)
+    assert values is not None
+
+
+def test_bench_randfixedsum_hard_region(benchmark):
+    """The regime where rejection sampling explodes but Stafford's
+    algorithm stays O(n): total close to n * u_max."""
+    rng = np.random.default_rng(1)
+    values = benchmark(randfixedsum, rng, 10, 9.5, 0.001, 0.99)
+    assert values is not None

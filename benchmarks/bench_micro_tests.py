@@ -1,0 +1,48 @@
+"""Micro-benchmarks: throughput of each uniprocessor schedulability test.
+
+These time a single ``is_schedulable`` call on a fixed mid-load task set —
+the inner-loop cost that dominates every partitioning experiment.
+"""
+
+import pytest
+
+from repro.analysis import (
+    AMCmaxTest,
+    AMCrtbTest,
+    ECDFTest,
+    EDFVDTest,
+    EYTest,
+)
+from repro.generator import MCTaskSetGenerator
+from repro.util import derive_rng
+
+
+def _fixed_taskset(deadline_type: str):
+    gen = MCTaskSetGenerator(m=1, n_min=6, n_max=6, deadline_type=deadline_type)
+    ts = gen.generate(derive_rng("micro", deadline_type), 0.6, 0.3, 0.3)
+    assert ts is not None
+    return ts
+
+
+IMPLICIT = _fixed_taskset("implicit")
+CONSTRAINED = _fixed_taskset("constrained")
+
+
+@pytest.mark.parametrize(
+    "test",
+    [EDFVDTest(), EYTest(), ECDFTest(), AMCrtbTest(), AMCmaxTest()],
+    ids=lambda t: t.name,
+)
+def test_bench_implicit(benchmark, test):
+    result = benchmark(test.is_schedulable, IMPLICIT)
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize(
+    "test",
+    [EYTest(), ECDFTest(), AMCrtbTest(), AMCmaxTest()],
+    ids=lambda t: t.name,
+)
+def test_bench_constrained(benchmark, test):
+    result = benchmark(test.is_schedulable, CONSTRAINED)
+    assert isinstance(result, bool)

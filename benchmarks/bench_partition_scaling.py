@@ -1,0 +1,36 @@
+"""Scaling: cost of one partitioning attempt as m (and n ~ 5m) grows.
+
+The paper reports its algorithms scale to m = 8; this measures the actual
+cost of a CU-UDP + ECDF partition at each m, which is the per-sample cost
+of the Figure 4/5 experiments (the dbf tuning inside the admission test is
+the dominant term).
+"""
+
+import pytest
+
+from repro.experiments import get_algorithm
+from repro.generator import MCTaskSetGenerator
+from repro.util import derive_rng
+
+
+def _taskset(m: int):
+    gen = MCTaskSetGenerator(m=m)
+    ts = gen.generate(derive_rng("scaling", m), 0.5, 0.25, 0.3)
+    assert ts is not None
+    return ts
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_bench_partition_cu_udp_ecdf(benchmark, m):
+    algo = get_algorithm("cu-udp-ecdf")
+    ts = _taskset(m)
+    result = benchmark(algo.partition, ts, m)
+    assert result.m == m
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_bench_partition_cu_udp_edfvd(benchmark, m):
+    algo = get_algorithm("cu-udp-edf-vd")
+    ts = _taskset(m)
+    result = benchmark(algo.partition, ts, m)
+    assert result.m == m

@@ -1,0 +1,79 @@
+"""Empirical speed-up factors vs the theoretical 8/3 bound.
+
+Measures the minimum processor speed at which partitioned EDF-VD succeeds
+(CU-UDP vs the no-sort first-fit baseline) over feasible random workloads.
+Both inherit the 8/3 bound (Baruah et al. 2014, Theorem 9); the interesting
+output is how far below the bound each strategy sits, and that UDP needs no
+more speed than the baseline on average.
+"""
+
+import statistics
+
+from repro.analysis import EDFVDTest
+from repro.analysis.speedup import (
+    EDFVD_PARTITIONED_SPEEDUP_BOUND,
+    mc_feasible_load,
+    minimum_speedup,
+)
+from repro.core import ca_nosort_f_f, cu_udp, partition
+from repro.generator import MCTaskSetGenerator
+from repro.util import derive_rng, format_table
+
+from conftest import bench_samples, emit
+
+M = 2
+
+
+def _measure(sample_count: int):
+    gen = MCTaskSetGenerator(m=M)
+    rng = derive_rng("bench-speedup")
+    test = EDFVDTest()
+    rows = {"cu-udp": [], "ca-nosort-f-f": []}
+    produced = 0
+    while produced < sample_count:
+        ts = gen.generate(rng, 0.85, 0.45, 0.4)
+        if ts is None or mc_feasible_load(ts, M) > 1.0:
+            continue
+        produced += 1
+        for name, strategy in (
+            ("cu-udp", cu_udp()),
+            ("ca-nosort-f-f", ca_nosort_f_f()),
+        ):
+            factor = minimum_speedup(
+                ts,
+                lambda t, s=strategy: partition(t, M, test, s).success,
+                hi=4.0,
+                tolerance=0.02,
+            )
+            assert factor is not None
+            rows[name].append(factor)
+    return rows
+
+
+def test_empirical_speedup_within_bound(once):
+    rows = once(_measure, bench_samples(12))
+    table = []
+    for name, factors in rows.items():
+        table.append(
+            [
+                name,
+                min(factors),
+                statistics.mean(factors),
+                max(factors),
+            ]
+        )
+    text = format_table(
+        ["strategy", "min", "mean", "max"],
+        table,
+        title=(
+            "empirical speed-up on feasible sets (m=2); "
+            f"theoretical bound {EDFVD_PARTITIONED_SPEEDUP_BOUND:.3f}"
+        ),
+    )
+    emit("speedup", text)
+    for factors in rows.values():
+        assert max(factors) <= EDFVD_PARTITIONED_SPEEDUP_BOUND + 0.02
+    # UDP should not need more speed than the baseline on average.
+    assert statistics.mean(rows["cu-udp"]) <= statistics.mean(
+        rows["ca-nosort-f-f"]
+    ) + 1e-9

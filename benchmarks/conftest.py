@@ -1,0 +1,56 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure of the paper has one bench module here.  Scale knobs:
+
+* ``REPRO_SAMPLES`` — task sets per ``UB`` bucket (default 10 for benches;
+  the paper used 1000).  Full-scale reproduction:
+  ``REPRO_SAMPLES=1000 pytest benchmarks/ --benchmark-only``.
+* ``REPRO_M`` — comma-separated processor counts (default ``2,4,8``, the
+  paper's sweep; use ``2`` for a quick pass).
+
+Rendered tables (the same rows/series the paper plots) are printed and
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_samples(default: int = 10) -> int:
+    """Task sets per bucket for bench runs."""
+    return int(os.environ.get("REPRO_SAMPLES", default))
+
+
+def bench_m_values() -> tuple[int, ...]:
+    """Processor counts to sweep."""
+    raw = os.environ.get("REPRO_M", "2,4,8")
+    return tuple(int(v) for v in raw.split(","))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (sweeps are their own repetition)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

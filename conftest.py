@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Ensures ``src/`` is importable even when the package is not installed
+(e.g. in offline environments where ``pip install -e .`` cannot build an
+editable wheel).  When ``repro`` is installed normally this is a no-op.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Strategy explorer: acceptance ratios over a custom workload region.
+
+Sweeps a small acceptance-ratio experiment — like the paper's Figures 3-5
+but at laptop scale and for any (m, deadline type, PH) region you pick via
+CLI flags — and prints the acceptance table, the weighted acceptance ratio
+and the improvement summary of the UDP strategies over the baselines.
+
+Run examples:
+
+    python examples/explore_partitioning.py
+    python examples/explore_partitioning.py --m 4 --deadline constrained
+    python examples/explore_partitioning.py --samples 50 --ph 0.7
+"""
+
+import argparse
+
+from repro.experiments import (
+    AcceptanceSweep,
+    SweepConfig,
+    get_algorithm,
+    improvement_summary,
+    render_sweep,
+    weighted_acceptance_ratio,
+)
+
+IMPLICIT_ALGORITHMS = (
+    "ca-udp-edf-vd",
+    "cu-udp-edf-vd",
+    "ca-nosort-f-f-edf-vd",
+    "cu-udp-ecdf",
+    "ca-f-f-ey",
+)
+CONSTRAINED_ALGORITHMS = (
+    "cu-udp-amc",
+    "cu-udp-ecdf",
+    "eca-wu-f-ey",
+    "ca-f-f-ey",
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=2, help="processor count")
+    parser.add_argument(
+        "--deadline",
+        choices=("implicit", "constrained"),
+        default="implicit",
+        help="deadline model",
+    )
+    parser.add_argument(
+        "--ph", type=float, default=0.5, help="fraction of HC tasks"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=25, help="task sets per UB bucket"
+    )
+    parser.add_argument(
+        "--ub-min", type=float, default=0.4, help="skip buckets below this UB"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    names = (
+        IMPLICIT_ALGORITHMS
+        if args.deadline == "implicit"
+        else CONSTRAINED_ALGORITHMS
+    )
+    algorithms = [get_algorithm(name) for name in names]
+
+    config = SweepConfig(
+        label="explore",
+        m=args.m,
+        deadline_type=args.deadline,
+        p_high=args.ph,
+        samples_per_bucket=args.samples,
+        ub_min=args.ub_min,
+    )
+    sweep = AcceptanceSweep(config).run(algorithms)
+
+    print(render_sweep(sweep))
+    print()
+    rows = [
+        f"  WAR({name}) = "
+        f"{weighted_acceptance_ratio(sweep.buckets, ratios):.3f}"
+        for name, ratios in sweep.ratios.items()
+    ]
+    print("weighted acceptance ratios:")
+    print("\n".join(rows))
+    print()
+    udp = [n for n in names if "udp" in n]
+    baselines = [n for n in names if "udp" not in n]
+    print(improvement_summary(sweep, udp, baselines))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""repro — Utilization-difference based partitioned MC scheduling.
+
+A production-quality reproduction of Ramanathan & Easwaran,
+"Utilization Difference Based Partitioned Scheduling of Mixed-Criticality
+Systems" (DATE 2017), including:
+
+* the dual-criticality sporadic task model (:mod:`repro.model`);
+* uniprocessor MC schedulability tests — EDF-VD, Ekberg-Yi, ECDF, AMC-rtb
+  and AMC-max (:mod:`repro.analysis`);
+* the UDP partitioning strategies and all published baselines over one
+  generic allocation engine (:mod:`repro.core`);
+* the fair synthetic task-set generator (:mod:`repro.generator`);
+* a discrete-event MC simulator used to validate the analyses
+  (:mod:`repro.sim`);
+* the experiment harness regenerating every figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    ts = repro.MCTaskSetGenerator(m=4).generate(
+        repro.derive_rng("quickstart"), u_hh=0.6, u_lh=0.3, u_ll=0.3
+    )
+    result = repro.partition(ts, m=4, test=repro.EDFVDTest(),
+                             strategy=repro.cu_udp())
+    print(result.describe())
+"""
+
+from repro.model import (
+    Criticality,
+    MCTask,
+    TaskSet,
+    UtilizationSummary,
+    validate_task,
+    validate_taskset,
+)
+from repro.analysis import (
+    AMCmaxTest,
+    AMCrtbTest,
+    AnalysisResult,
+    ECDFTest,
+    EDFTest,
+    EDFVDTest,
+    EYTest,
+    SchedulabilityTest,
+    edfvd_scaling_factor,
+    get_test,
+    registered_tests,
+)
+from repro.core import (
+    PartitionResult,
+    PartitioningStrategy,
+    bfd,
+    ca_f_f,
+    ca_nosort_f_f,
+    ca_udp,
+    ca_wu_f,
+    cu_udp,
+    eca_wu_f,
+    ffd,
+    get_strategy,
+    partition,
+    registered_strategies,
+    wfd,
+)
+from repro.generator import (
+    GeneratorConfig,
+    GridPoint,
+    MCTaskSetGenerator,
+    UtilizationGrid,
+    log_uniform_periods,
+    randfixedsum,
+    uunifast,
+    uunifast_discard,
+)
+from repro.util import derive_rng, spawn_seed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # model
+    "Criticality",
+    "MCTask",
+    "TaskSet",
+    "UtilizationSummary",
+    "validate_task",
+    "validate_taskset",
+    # analysis
+    "AMCmaxTest",
+    "AMCrtbTest",
+    "AnalysisResult",
+    "ECDFTest",
+    "EDFTest",
+    "EDFVDTest",
+    "EYTest",
+    "SchedulabilityTest",
+    "edfvd_scaling_factor",
+    "get_test",
+    "registered_tests",
+    # core
+    "PartitionResult",
+    "PartitioningStrategy",
+    "partition",
+    "ca_udp",
+    "cu_udp",
+    "ca_wu_f",
+    "ca_f_f",
+    "ca_nosort_f_f",
+    "eca_wu_f",
+    "ffd",
+    "wfd",
+    "bfd",
+    "get_strategy",
+    "registered_strategies",
+    # generator
+    "GeneratorConfig",
+    "GridPoint",
+    "MCTaskSetGenerator",
+    "UtilizationGrid",
+    "log_uniform_periods",
+    "randfixedsum",
+    "uunifast",
+    "uunifast_discard",
+    # util
+    "derive_rng",
+    "spawn_seed",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Plain (non-MC) EDF schedulability tests — substrate S3.
+
+Two variants are exposed through :class:`EDFTest`:
+
+* ``mode="reservation"`` (default): every HC task is budgeted at its HI-mode
+  WCET at all times.  This is the classical static-reservation design the
+  paper's introduction contrasts MC scheduling against, and it is trivially
+  MC-correct (no mode-switch logic needed).
+* ``mode="lo"``: every task is budgeted at its LO-mode WCET.  This is *not*
+  MC-correct for HC tasks; it exists as the non-MC substrate used for
+  baselines, LC-only cores and generator sanity checks.
+
+For implicit deadlines the utilization bound ``U <= 1`` is exact; for
+constrained deadlines the processor-demand criterion (dbf) is used.
+"""
+
+from __future__ import annotations
+
+from repro.model import TaskSet
+from repro.analysis.dbf import DemandScenario, HorizonExceeded
+from repro.analysis.interface import (
+    AnalysisResult,
+    SchedulabilityTest,
+    register_test,
+)
+
+__all__ = ["EDFTest", "edf_utilization_schedulable", "edf_demand_schedulable"]
+
+_EPS = 1e-9
+
+
+def edf_utilization_schedulable(utilization: float) -> bool:
+    """EDF exact test for implicit-deadline sporadic tasks: ``U <= 1``."""
+    return utilization <= 1.0 + _EPS
+
+
+def edf_demand_schedulable(taskset: TaskSet, use_hi_wcet: bool) -> bool:
+    """Processor-demand criterion for constrained-deadline sporadic tasks.
+
+    ``use_hi_wcet`` selects the HI-mode WCET for HC tasks (reservation
+    analysis); LC tasks always use their (only) LO WCET.
+    """
+    if use_hi_wcet:
+        # Re-express each HC task as a single-mode task at C_H.  LC tasks are
+        # untouched.  This stays within the same dbf machinery by giving
+        # every task wcet_lo == wcet_hi.
+        from dataclasses import replace
+
+        tasks = [
+            replace(t, wcet_lo=t.wcet_hi) if t.is_high else t for t in taskset
+        ]
+        taskset = TaskSet(tasks)
+    scenario = DemandScenario(taskset)
+    try:
+        return scenario.lo_violation() is None
+    except HorizonExceeded:
+        return False
+
+
+class EDFTest(SchedulabilityTest):
+    """Uniprocessor EDF test (see module docstring for the two modes)."""
+
+    def __init__(self, mode: str = "reservation"):
+        if mode not in ("reservation", "lo"):
+            raise ValueError(f"mode must be 'reservation' or 'lo', got {mode!r}")
+        self.mode = mode
+        self.name = f"edf-{mode}"
+
+    def analyze(self, taskset: TaskSet) -> AnalysisResult:
+        use_hi = self.mode == "reservation"
+        if taskset.is_implicit_deadline:
+            util = sum(
+                (t.utilization_hi if use_hi and t.is_high else t.utilization_lo)
+                for t in taskset
+            )
+            ok = edf_utilization_schedulable(util)
+            return AnalysisResult(ok, detail=f"U={util:.4f}")
+        ok = edf_demand_schedulable(taskset, use_hi_wcet=use_hi)
+        return AnalysisResult(ok, detail="processor-demand criterion")
+
+
+register_test("edf-reservation", lambda: EDFTest("reservation"))
+register_test("edf-lo", lambda: EDFTest("lo"))

@@ -1,0 +1,111 @@
+"""EDF with Virtual Deadlines — utilization test of Baruah et al. (S4).
+
+The test (ECRTS 2012, Theorems 1 and 2) for implicit-deadline dual-
+criticality task systems.  With per-core sums ``a = U_LL`` (LO utilization of
+LC tasks), ``b = U_LH`` (LO utilization of HC tasks) and ``c = U_HH``
+(HI utilization of HC tasks):
+
+* if ``a + c <= 1`` the set is schedulable by plain EDF with HC tasks
+  budgeted at ``C_H`` (scaling factor ``x = 1``);
+* otherwise it is schedulable by EDF-VD with
+  ``x = b / (1 - a)`` provided ``a + b <= 1`` (Theorem 1, LO mode) and
+  ``x * a + c <= 1`` (Theorem 2, HI mode).
+
+The HI-mode condition rearranges to ``a <= (1 - c) / (1 - (c - b))``, the
+exact inequality quoted in Section III of the DATE 2017 paper.  The
+pessimism of the test shrinks with the *utilization difference* ``c - b``,
+which is what the UDP partitioning strategies balance across cores.
+
+This test carries an optimal speed-up bound of 4/3 on one processor, and by
+Theorem 9 of Baruah et al. (Real-Time Systems, 2014), any partitioning
+strategy that tries every processor before declaring failure inherits a
+speed-up bound of 8/3 when paired with it — which holds for all strategies
+in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.model import TaskSet
+from repro.analysis.interface import (
+    AnalysisResult,
+    SchedulabilityTest,
+    register_test,
+)
+
+__all__ = ["EDFVDTest", "edfvd_admits", "edfvd_scaling_factor"]
+
+_EPS = 1e-9
+
+
+def edfvd_admits(u_ll: float, u_lh: float, u_hh: float) -> bool:
+    """The EDF-VD utilization test on raw per-core sums.
+
+    Pure-function form used by partitioners, property tests and the worked
+    examples of Figures 1 and 2.
+
+    ``u_lh <= u_hh`` is a model invariant (``C_L <= C_H`` per task); inputs
+    violating it are rejected to protect the ``a + c <= 1`` shortcut, which
+    relies on ``b <= c``.
+    """
+    a, b, c = u_ll, u_lh, u_hh
+    if min(a, b, c) < -_EPS:
+        raise ValueError(f"utilizations must be non-negative: {(a, b, c)}")
+    if b > c + 1e-6:
+        raise ValueError(f"U_LH ({b}) exceeds U_HH ({c}); violates C_L <= C_H")
+    if a + c <= 1.0 + _EPS:
+        return True
+    if a + b > 1.0 + _EPS or c > 1.0 + _EPS:
+        return False
+    # x * a + c <= 1 with x = b / (1 - a); guarded because a < 1 here
+    # (a + b <= 1 and b > 0, else a + c <= 1 would have held).
+    if a >= 1.0 - _EPS:
+        return False
+    x = b / (1.0 - a)
+    return x * a + c <= 1.0 + _EPS
+
+
+def edfvd_scaling_factor(taskset: TaskSet) -> float:
+    """Deadline-scaling factor ``x`` the runtime should apply.
+
+    Returns 1.0 when plain EDF suffices (``a + c <= 1``); otherwise
+    ``b / (1 - a)``.  Raises ``ValueError`` when the task set fails the test
+    (there is no correct scaling factor to return).
+    """
+    util = taskset.utilization
+    a, b, c = util.u_ll, util.u_lh, util.u_hh
+    if not edfvd_admits(a, b, c):
+        raise ValueError("task set fails the EDF-VD test; no valid scaling factor")
+    if a + c <= 1.0 + _EPS or b == 0:
+        return 1.0
+    return min(1.0, b / (1.0 - a))
+
+
+class EDFVDTest(SchedulabilityTest):
+    """EDF-VD utilization-based test (implicit deadlines only)."""
+
+    name = "edf-vd"
+
+    def supports(self, taskset: TaskSet) -> bool:
+        """EDF-VD's utilization test requires implicit deadlines."""
+        return taskset.is_implicit_deadline
+
+    def analyze(self, taskset: TaskSet) -> AnalysisResult:
+        if not taskset.is_implicit_deadline:
+            raise ValueError(
+                "EDFVDTest requires an implicit-deadline task set; "
+                "use ECDFTest/EYTest for constrained deadlines"
+            )
+        util = taskset.utilization
+        ok = edfvd_admits(util.u_ll, util.u_lh, util.u_hh)
+        if not ok:
+            return AnalysisResult(
+                False,
+                detail=(
+                    f"a={util.u_ll:.4f} b={util.u_lh:.4f} c={util.u_hh:.4f} "
+                    "fails EDF-VD utilization test"
+                ),
+            )
+        return AnalysisResult(True, scaling_factor=edfvd_scaling_factor(taskset))
+
+
+register_test("edf-vd", EDFVDTest)

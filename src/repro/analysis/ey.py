@@ -1,0 +1,54 @@
+"""Ekberg-Yi demand-bound test with deadline tuning (S5).
+
+Implements the ECRTS 2012 "Bounding and shaping the demand of
+mixed-criticality sporadic tasks" analysis: the two-mode dbf of
+:mod:`repro.analysis.dbf` (without the trigger refinement) combined with the
+iterative tuning loop that shrinks one virtual deadline at a time, always
+picking the task with the steepest HI-demand reduction at the earliest
+violation point.
+
+In the DATE 2017 paper this test (under the name EY) backs the two baseline
+partitioned algorithms ECA-Wu-F-EY and CA-F-F-EY; the paper characterizes it
+as "relatively less efficient in terms of schedulability" than ECDF, which
+the test suite verifies empirically on random batches.
+
+Valid for implicit- and constrained-deadline dual-criticality task sets.
+"""
+
+from __future__ import annotations
+
+from repro.model import TaskSet
+from repro.analysis.dbf import DEFAULT_HORIZON_CAP
+from repro.analysis.interface import (
+    AnalysisResult,
+    SchedulabilityTest,
+    register_test,
+)
+from repro.analysis.vdtuning import tune_virtual_deadlines
+
+__all__ = ["EYTest"]
+
+
+class EYTest(SchedulabilityTest):
+    """Ekberg-Yi dbf test with steepest-descent virtual-deadline tuning."""
+
+    name = "ey"
+
+    def __init__(self, horizon_cap: int = DEFAULT_HORIZON_CAP):
+        self.horizon_cap = horizon_cap
+
+    def analyze(self, taskset: TaskSet) -> AnalysisResult:
+        outcome = tune_virtual_deadlines(
+            taskset,
+            policy="steepest",
+            refine=False,
+            horizon_cap=self.horizon_cap,
+        )
+        return AnalysisResult(
+            outcome.schedulable,
+            virtual_deadlines=dict(outcome.virtual_deadlines),
+            detail=outcome.detail,
+        )
+
+
+register_test("ey", EYTest)

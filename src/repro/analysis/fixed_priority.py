@@ -1,0 +1,100 @@
+"""Fixed-priority scheduling substrate (S7).
+
+Provides the pieces the AMC analyses build on:
+
+* classic response-time analysis (RTA) for constrained-deadline sporadic
+  tasks under preemptive fixed-priority scheduling;
+* deadline-monotonic (DM) priority ordering;
+* Audsley's Optimal Priority Assignment (OPA) for any per-task test whose
+  verdict depends only on the *set* of higher-priority tasks (both AMC-rtb
+  and AMC-max qualify: their interference terms never reference relative
+  priorities among the higher-priority tasks).
+
+Priorities are represented as an ordered list of tasks, highest priority
+first.  Exported priority maps use ``task_id -> index`` (0 = highest).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.model import MCTask, TaskSet
+from repro.util.intmath import ceil_div
+
+__all__ = [
+    "response_time_lo",
+    "deadline_monotonic_order",
+    "audsley_assignment",
+    "priority_map",
+]
+
+
+def response_time_lo(
+    task: MCTask, higher_priority: Sequence[MCTask], limit: int | None = None
+) -> int | None:
+    """LO-mode response time of ``task`` under the given hp set.
+
+    Solves ``R = C_L + sum_j ceil(R / T_j) * C_j^L`` by fixed-point
+    iteration.  Returns None when the response time exceeds ``limit``
+    (default: the task's deadline) — i.e. the task is unschedulable.
+    """
+    if limit is None:
+        limit = task.deadline
+    response = task.wcet_lo
+    while True:
+        interference = sum(
+            ceil_div(response, hp.period) * hp.wcet_lo for hp in higher_priority
+        )
+        nxt = task.wcet_lo + interference
+        if nxt > limit:
+            return None
+        if nxt == response:
+            return response
+        response = nxt
+
+
+def deadline_monotonic_order(taskset: TaskSet) -> list[MCTask]:
+    """Tasks ordered highest-priority-first by deadline (ties: period, id).
+
+    DM is the classical choice for constrained-deadline fixed-priority
+    systems and the default priority policy of the AMC tests here.
+    """
+    return sorted(taskset, key=lambda t: (t.deadline, t.period, t.task_id))
+
+
+def audsley_assignment(
+    taskset: TaskSet,
+    feasible_at_level: Callable[[MCTask, Sequence[MCTask]], bool],
+) -> list[MCTask] | None:
+    """Audsley's OPA: build a priority order lowest level first.
+
+    ``feasible_at_level(task, others)`` must answer "is ``task`` schedulable
+    when every task in ``others`` has higher priority?" and must not depend
+    on the internal order of ``others``.  Returns the order highest priority
+    first, or None when no assignment exists (for OPA-compatible tests this
+    is a definitive negative, not a heuristic failure).
+    """
+    remaining = list(taskset)
+    lowest_first: list[MCTask] = []
+    while remaining:
+        placed = False
+        # Deterministic preference: try larger deadlines at lower priority
+        # first, which tends to reproduce DM when DM works.
+        for task in sorted(
+            remaining, key=lambda t: (t.deadline, t.period, t.task_id), reverse=True
+        ):
+            others = [t for t in remaining if t.task_id != task.task_id]
+            if feasible_at_level(task, others):
+                lowest_first.append(task)
+                remaining = others
+                placed = True
+                break
+        if not placed:
+            return None
+    lowest_first.reverse()
+    return lowest_first
+
+
+def priority_map(order: Sequence[MCTask]) -> dict[int, int]:
+    """``task_id -> priority index`` (0 = highest) for an ordered list."""
+    return {task.task_id: level for level, task in enumerate(order)}

@@ -1,0 +1,107 @@
+"""Common interface for uniprocessor MC schedulability tests.
+
+Partitioning strategies (:mod:`repro.core`) are parameterized by a test; the
+experiment harness looks tests up by name through the small registry here.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.model import TaskSet
+
+__all__ = [
+    "AnalysisResult",
+    "SchedulabilityTest",
+    "register_test",
+    "get_test",
+    "registered_tests",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of a schedulability analysis.
+
+    Attributes
+    ----------
+    schedulable:
+        The verdict of the (sufficient) test.
+    virtual_deadlines:
+        For virtual-deadline algorithms (EDF-VD / EY / ECDF): mapping
+        ``task_id -> LO-mode deadline``; empty otherwise.
+    scaling_factor:
+        EDF-VD deadline-scaling factor ``x`` (1.0 when unused).
+    priorities:
+        For fixed-priority algorithms: mapping ``task_id -> priority``
+        (lower number = higher priority); empty otherwise.
+    detail:
+        Free-form diagnostic note (e.g. which condition failed).
+    """
+
+    schedulable: bool
+    virtual_deadlines: dict[int, int] = field(default_factory=dict)
+    scaling_factor: float = 1.0
+    priorities: dict[int, int] = field(default_factory=dict)
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+class SchedulabilityTest(abc.ABC):
+    """A sufficient uniprocessor MC schedulability test.
+
+    Subclasses implement :meth:`analyze`; :meth:`is_schedulable` is the
+    boolean convenience used in partitioning inner loops.
+    """
+
+    #: short stable identifier (used by the registry and reports)
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def analyze(self, taskset: TaskSet) -> AnalysisResult:
+        """Run the full analysis and return details."""
+
+    def is_schedulable(self, taskset: TaskSet) -> bool:
+        """True when ``taskset`` passes this test on one processor."""
+        return self.analyze(taskset).schedulable
+
+    def supports(self, taskset: TaskSet) -> bool:
+        """Whether the test's model assumptions hold for ``taskset``.
+
+        The default requires constrained deadlines; tests with stricter
+        assumptions (e.g. EDF-VD's implicit-deadline requirement) override.
+        """
+        return taskset.is_constrained_deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, Callable[[], SchedulabilityTest]] = {}
+
+
+def register_test(name: str, factory: Callable[[], SchedulabilityTest]) -> None:
+    """Register a test factory under ``name`` (idempotent re-registration)."""
+    _REGISTRY[name] = factory
+
+
+def get_test(name: str) -> SchedulabilityTest:
+    """Instantiate the registered test called ``name``.
+
+    Raises ``KeyError`` with the list of known names when unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown test {name!r}; known tests: {known}") from None
+    return factory()
+
+
+def registered_tests() -> tuple[str, ...]:
+    """Names of all registered tests, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,94 @@
+"""Empirical speed-up factor analysis.
+
+The paper leans on a theoretical result (Baruah et al. 2014, Theorem 9):
+partitioned EDF-VD with *any* strategy that tries every processor before
+failing has a speed-up bound of 8/3 — the UDP strategies qualify.  This
+module measures the *empirical* counterpart: the smallest processor speed at
+which a test (or a partitioned algorithm) accepts a given task set.
+
+Speeding a processor up by ``s`` divides execution requirements by ``s``;
+:meth:`repro.model.task.MCTask.scaled` implements this with conservative
+(ceiling) rounding, so the reported factor is a safe upper estimate.
+
+Typical uses:
+
+* verify that no generated task set that is *feasible* (passes the load
+  necessary conditions) needs more than the theoretical bound;
+* compare how much speed-up different partitioning strategies need on the
+  same workload — a scalar summary of partitioning quality.
+"""
+
+from __future__ import annotations
+
+from repro.model import TaskSet
+from repro.analysis.interface import SchedulabilityTest
+
+__all__ = [
+    "EDFVD_PARTITIONED_SPEEDUP_BOUND",
+    "scale_taskset",
+    "minimum_speedup",
+    "mc_feasible_load",
+]
+
+#: Theorem 9 of Baruah et al. (Real-Time Systems, 2014): partitioned EDF-VD
+#: with an all-processors-before-failure strategy needs speed at most 8/3.
+EDFVD_PARTITIONED_SPEEDUP_BOUND = 8.0 / 3.0
+
+
+def scale_taskset(taskset: TaskSet, speed: float) -> TaskSet:
+    """Every task rescaled to a processor of relative ``speed``."""
+    return TaskSet(task.scaled(speed) for task in taskset)
+
+
+def mc_feasible_load(taskset: TaskSet, m: int = 1) -> float:
+    """The load lower bound any correct scheduler must satisfy.
+
+    For dual-criticality systems, ``max(U_LO, U_HH) <= m`` is necessary;
+    the returned value is that maximum normalized by ``m``.  A speed of
+    ``mc_feasible_load(ts, m)`` is therefore necessary for any algorithm.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    util = taskset.utilization
+    return max(util.u_lo, util.u_hh) / m
+
+
+def minimum_speedup(
+    taskset: TaskSet,
+    accepts,
+    lo: float = 1.0,
+    hi: float = 8.0,
+    tolerance: float = 0.01,
+) -> float | None:
+    """Smallest speed in ``[lo, hi]`` at which ``accepts`` passes.
+
+    ``accepts`` is any predicate over a task set — a bound method like
+    ``EDFVDTest().is_schedulable`` or a partitioned closure
+    ``lambda ts: algo.partition(ts, m).success``.  Returns None when even
+    ``hi`` does not suffice.  Bisection is valid because acceptance is
+    monotone in speed for every test in this library (scaling down budgets
+    never hurts any of the analyses).
+    """
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid speed range [{lo}, {hi}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if accepts(scale_taskset(taskset, lo)):
+        return lo
+    if not accepts(scale_taskset(taskset, hi)):
+        return None
+    low, high = lo, hi
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if accepts(scale_taskset(taskset, mid)):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def speedup_for_test(
+    taskset: TaskSet, test: SchedulabilityTest, **kwargs
+) -> float | None:
+    """Convenience wrapper: minimum speed-up under a uniprocessor test."""
+    return minimum_speedup(taskset, test.is_schedulable, **kwargs)

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Draw a task set from the fair generator and print/save it as JSON.
+``check``
+    Run a uniprocessor schedulability test on a task-set JSON file.
+``partition``
+    Partition a task-set JSON file with a named strategy + test.
+``simulate``
+    Validate an accepted task set against the adversarial scenario battery.
+``figure``
+    Run one of the paper's figure experiments and print its tables.
+``sensitivity``
+    Run the utilization-difference sensitivity extension experiment.
+
+Every command is a thin veneer over the library API — anything the CLI can
+do, three lines of Python can do too (see README quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import get_test, registered_tests
+from repro.core import get_strategy, partition, registered_strategies
+from repro.generator import MCTaskSetGenerator
+from repro.model import TaskSet
+from repro.util.rng import derive_rng
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Utilization-difference based partitioned MC scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a task set (JSON)")
+    gen.add_argument("--m", type=int, default=4)
+    gen.add_argument("--uhh", type=float, required=True)
+    gen.add_argument("--ulh", type=float, required=True)
+    gen.add_argument("--ull", type=float, required=True)
+    gen.add_argument("--ph", type=float, default=0.5)
+    gen.add_argument(
+        "--deadline", choices=("implicit", "constrained"), default="implicit"
+    )
+    gen.add_argument("--nmin", type=int, default=None, help="min task count")
+    gen.add_argument("--nmax", type=int, default=None, help="max task count")
+    gen.add_argument("--seed", default="cli")
+    gen.add_argument("-o", "--output", help="write JSON here (default stdout)")
+
+    check = sub.add_parser("check", help="run a schedulability test")
+    check.add_argument("taskset", help="task-set JSON file ('-' for stdin)")
+    check.add_argument(
+        "--test", choices=registered_tests(), default="ecdf"
+    )
+
+    part = sub.add_parser("partition", help="partition a task set")
+    part.add_argument("taskset", help="task-set JSON file ('-' for stdin)")
+    part.add_argument("--m", type=int, default=4)
+    part.add_argument(
+        "--strategy", choices=registered_strategies(), default="cu-udp"
+    )
+    part.add_argument("--test", choices=registered_tests(), default="edf-vd")
+
+    simulate = sub.add_parser(
+        "simulate", help="validate an accepted set by simulation"
+    )
+    simulate.add_argument("taskset", help="task-set JSON file ('-' for stdin)")
+    simulate.add_argument(
+        "--test", choices=registered_tests(), default="ecdf"
+    )
+    simulate.add_argument("--horizon", type=int, default=20_000)
+    simulate.add_argument("--seed", default="cli-sim")
+
+    figure = sub.add_parser("figure", help="run a paper figure experiment")
+    figure.add_argument(
+        "name", choices=("fig3", "fig4", "fig5", "fig6a", "fig6b")
+    )
+    figure.add_argument("--samples", type=int, default=None)
+    figure.add_argument(
+        "--m", default=None, help="comma-separated processor counts"
+    )
+
+    sens = sub.add_parser(
+        "sensitivity", help="utilization-difference sensitivity sweep"
+    )
+    sens.add_argument("--m", type=int, default=4)
+    sens.add_argument("--samples", type=int, default=20)
+
+    return parser
+
+
+def _load_taskset(path: str) -> TaskSet:
+    if path == "-":
+        return TaskSet.from_dicts(json.load(sys.stdin))
+    with open(path, encoding="utf-8") as handle:
+        return TaskSet.from_dicts(json.load(handle))
+
+
+def _cmd_generate(args) -> int:
+    generator = MCTaskSetGenerator(
+        m=args.m,
+        p_high=args.ph,
+        deadline_type=args.deadline,
+        n_min=args.nmin,
+        n_max=args.nmax,
+    )
+    rng = derive_rng("cli-generate", args.seed)
+    taskset = generator.generate(rng, args.uhh, args.ulh, args.ull)
+    if taskset is None:
+        print("generation failed: targets infeasible", file=sys.stderr)
+        return 1
+    payload = json.dumps(taskset.to_dicts(), indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(taskset)} tasks to {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    taskset = _load_taskset(args.taskset)
+    test = get_test(args.test)
+    result = test.analyze(taskset)
+    verdict = "SCHEDULABLE" if result.schedulable else "NOT SCHEDULABLE"
+    print(f"{test.name}: {verdict}")
+    if result.detail:
+        print(f"  detail: {result.detail}")
+    if result.schedulable and result.virtual_deadlines:
+        print(f"  virtual deadlines: {result.virtual_deadlines}")
+    if result.schedulable and result.scaling_factor != 1.0:
+        print(f"  scaling factor: {result.scaling_factor:.4f}")
+    return 0 if result.schedulable else 2
+
+
+def _cmd_partition(args) -> int:
+    taskset = _load_taskset(args.taskset)
+    result = partition(
+        taskset, args.m, get_test(args.test), get_strategy(args.strategy)
+    )
+    print(result.describe())
+    return 0 if result.success else 2
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import validate_against_simulation
+
+    taskset = _load_taskset(args.taskset)
+    test = get_test(args.test)
+    if not test.is_schedulable(taskset):
+        print(f"{test.name} rejects this task set; nothing to validate")
+        return 2
+    violations = validate_against_simulation(
+        taskset, test, derive_rng("cli-sim", args.seed), horizon=args.horizon
+    )
+    if violations:
+        print(f"UNSOUND: {len(violations)} MC violations found:")
+        for label, miss in violations[:10]:
+            print(f"  [{label}] {miss}")
+        return 3
+    print(
+        f"validated: no MC violation across the scenario battery "
+        f"(horizon {args.horizon})"
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import run_figure
+    from repro.experiments.report import render_figure
+
+    kwargs = {}
+    if args.m:
+        kwargs["m_values"] = tuple(int(v) for v in args.m.split(","))
+    result = run_figure(args.name, samples=args.samples, **kwargs)
+    print(render_figure(result))
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.experiments.algorithms import get_algorithm
+    from repro.experiments.sensitivity import difference_sensitivity
+
+    algorithms = [
+        get_algorithm("cu-udp-edf-vd"),
+        get_algorithm("ca-nosort-f-f-edf-vd"),
+    ]
+    result = difference_sensitivity(
+        algorithms, m=args.m, samples=args.samples
+    )
+    print(result.render())
+    gaps = result.advantage("cu-udp-edf-vd", "ca-nosort-f-f-edf-vd")
+    print()
+    print(
+        "UDP advantage per squeeze ratio: "
+        + ", ".join(f"{g:+.3f}" for g in gaps)
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "check": _cmd_check,
+    "partition": _cmd_partition,
+    "simulate": _cmd_simulate,
+    "figure": _cmd_figure,
+    "sensitivity": _cmd_sensitivity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Partitioned MC scheduling: allocation engine and strategies (S10).
+
+This package contains the paper's contribution — the two utilization-
+difference based partitioning strategies — together with every baseline
+strategy the evaluation compares against, all expressed over one generic
+allocation engine (:mod:`repro.core.allocator`):
+
+* :func:`~repro.core.udp.ca_udp` — criticality-aware UDP (Algorithm 1).
+* :func:`~repro.core.udp.cu_udp` — criticality-unaware UDP.
+* :func:`~repro.core.baselines.ca_wu_f` — worst-fit by HC utilization
+  (the paper's Figure 1 comparison strategy).
+* :func:`~repro.core.baselines.ca_nosort_f_f` — Baruah et al.'s partitioned
+  EDF-VD strategy (no sorting, first-fit; speed-up bound 8/3).
+* :func:`~repro.core.baselines.ca_f_f` — Rodriguez et al.'s sorted
+  criticality-aware first-fit.
+* :func:`~repro.core.baselines.eca_wu_f` — Gu et al.'s enhanced
+  criticality-aware strategy with heavy-LC preference.
+* classical FFD/WFD/BFD for reference.
+
+A *partitioned algorithm* in the paper's sense is a (strategy, test) pair:
+``partition(taskset, m, test, strategy)`` statically maps tasks to cores,
+admitting a task onto a core only when the core's uniprocessor MC test still
+passes; per-core scheduling then uses the algorithm the test certifies.
+"""
+
+from repro.core.allocator import (
+    PartitionResult,
+    PartitioningStrategy,
+    ProcessorState,
+    partition,
+)
+from repro.core.baselines import (
+    bfd,
+    ca_f_f,
+    ca_nosort_f_f,
+    ca_wu_f,
+    eca_wu_f,
+    ffd,
+    wfd,
+)
+from repro.core.strategies import (
+    get_strategy,
+    registered_strategies,
+)
+from repro.core.udp import ca_udp, cu_udp
+
+__all__ = [
+    "PartitionResult",
+    "PartitioningStrategy",
+    "ProcessorState",
+    "partition",
+    "ca_udp",
+    "cu_udp",
+    "ca_wu_f",
+    "ca_nosort_f_f",
+    "ca_f_f",
+    "eca_wu_f",
+    "ffd",
+    "wfd",
+    "bfd",
+    "get_strategy",
+    "registered_strategies",
+]

@@ -1,0 +1,138 @@
+"""Reusable ordering and fit-rule building blocks plus the strategy registry.
+
+Orders and fits compose into :class:`~repro.core.allocator.PartitioningStrategy`
+instances; the concrete strategies of the paper live in
+:mod:`repro.core.udp` (the contribution) and :mod:`repro.core.baselines`
+(everything it is compared against).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.model import MCTask, TaskSet
+from repro.core.allocator import PartitioningStrategy, ProcessorState
+
+__all__ = [
+    "order_criticality_aware",
+    "order_criticality_aware_nosort",
+    "order_criticality_unaware",
+    "order_heavy_lc_first",
+    "first_fit",
+    "worst_fit_by",
+    "best_fit_by",
+    "udp_fit",
+    "register_strategy",
+    "get_strategy",
+    "registered_strategies",
+]
+
+
+# -- allocation orders ------------------------------------------------------
+
+def _own_level_key(task: MCTask) -> tuple[float, int]:
+    # Secondary key on task_id keeps orders deterministic across runs.
+    return (-task.utilization_at_own_level, task.task_id)
+
+
+def order_criticality_aware(taskset: TaskSet) -> list[MCTask]:
+    """HC tasks (by decreasing ``u_H``) before LC tasks (by decreasing ``u_L``)."""
+    high = sorted(taskset.high_tasks, key=_own_level_key)
+    low = sorted(taskset.low_tasks, key=_own_level_key)
+    return high + low
+
+
+def order_criticality_aware_nosort(taskset: TaskSet) -> list[MCTask]:
+    """HC tasks before LC tasks, each class in input order (Baruah et al.)."""
+    return list(taskset.high_tasks) + list(taskset.low_tasks)
+
+
+def order_criticality_unaware(taskset: TaskSet) -> list[MCTask]:
+    """All tasks by decreasing utilization at their own criticality level."""
+    return sorted(taskset, key=_own_level_key)
+
+
+def order_heavy_lc_first(threshold: float) -> Callable[[TaskSet], list[MCTask]]:
+    """Gu et al.'s enhanced order: heavy LC tasks, then HC, then light LC.
+
+    An LC task is *heavy* when ``u_L >= threshold``; heavy LC tasks are
+    allocated before any HC task (they would otherwise be unplaceable after
+    the HC load is spread), the rest follows the criticality-aware order.
+    """
+
+    def order(taskset: TaskSet) -> list[MCTask]:
+        heavy = sorted(
+            (t for t in taskset.low_tasks if t.utilization_lo >= threshold),
+            key=_own_level_key,
+        )
+        light = sorted(
+            (t for t in taskset.low_tasks if t.utilization_lo < threshold),
+            key=_own_level_key,
+        )
+        high = sorted(taskset.high_tasks, key=_own_level_key)
+        return heavy + high + light
+
+    return order
+
+
+# -- fit rules -----------------------------------------------------------------
+
+def first_fit(processors: Sequence[ProcessorState]) -> list[int]:
+    """Processors in fixed index order."""
+    return list(range(len(processors)))
+
+
+def worst_fit_by(
+    metric: Callable[[ProcessorState], float],
+) -> Callable[[Sequence[ProcessorState]], list[int]]:
+    """Processors by *increasing* metric (emptiest-by-metric first)."""
+
+    def fit(processors: Sequence[ProcessorState]) -> list[int]:
+        return sorted(range(len(processors)), key=lambda i: (metric(processors[i]), i))
+
+    return fit
+
+
+def best_fit_by(
+    metric: Callable[[ProcessorState], float],
+) -> Callable[[Sequence[ProcessorState]], list[int]]:
+    """Processors by *decreasing* metric (fullest-by-metric first)."""
+
+    def fit(processors: Sequence[ProcessorState]) -> list[int]:
+        return sorted(
+            range(len(processors)), key=lambda i: (-metric(processors[i]), i)
+        )
+
+    return fit
+
+
+#: Worst-fit on the utilization difference ``U_HH - U_LH`` — line 3 of
+#: Algorithm 1; the core of both UDP strategies.
+udp_fit = worst_fit_by(lambda p: p.utilization_difference)
+
+
+# -- registry --------------------------------------------------------------------
+
+_STRATEGIES: dict[str, Callable[[], PartitioningStrategy]] = {}
+
+
+def register_strategy(
+    name: str, factory: Callable[[], PartitioningStrategy]
+) -> None:
+    """Register a strategy factory under ``name``."""
+    _STRATEGIES[name] = factory
+
+
+def get_strategy(name: str) -> PartitioningStrategy:
+    """Instantiate the registered strategy called ``name``."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise KeyError(f"unknown strategy {name!r}; known: {known}") from None
+    return factory()
+
+
+def registered_strategies() -> tuple[str, ...]:
+    """Names of all registered strategies, sorted."""
+    return tuple(sorted(_STRATEGIES))

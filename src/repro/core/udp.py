@@ -1,0 +1,64 @@
+"""The paper's contribution: utilization-difference based partitioning.
+
+Both strategies spread the per-core utilization difference
+``U_HH(core) - U_LH(core)`` evenly by allocating every HC task with
+*worst-fit on the difference* (the core with the smallest difference is
+tried first).  A small difference means the extra demand a core must absorb
+when it switches from LO to HI mode is small, which directly reduces the
+pessimism of the EDF-VD, ECDF and AMC uniprocessor tests applied per core.
+
+* :func:`ca_udp` (Algorithm 1): criticality-aware — all HC tasks (sorted by
+  decreasing ``u_H``) are placed before any LC task (sorted by decreasing
+  ``u_L``, first-fit).
+* :func:`cu_udp`: criticality-unaware — HC and LC tasks are sorted together
+  by their own-criticality utilization, so a heavy LC task is placed before
+  lighter HC tasks and is far less likely to end up unplaceable.  Fit rules
+  are unchanged (UDP worst-fit for HC, first-fit for LC).
+
+The paper finds CU-UDP slightly ahead of CA-UDP overall (Section IV),
+precisely because of those heavy LC tasks — Figure 2's worked example, which
+``examples/paper_examples.py`` re-derives.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import PartitioningStrategy
+from repro.core.strategies import (
+    first_fit,
+    order_criticality_aware,
+    order_criticality_unaware,
+    register_strategy,
+    udp_fit,
+)
+
+__all__ = ["ca_udp", "cu_udp"]
+
+
+def ca_udp() -> PartitioningStrategy:
+    """CA-UDP — Algorithm 1 of the paper."""
+    return PartitioningStrategy(
+        name="ca-udp",
+        order=order_criticality_aware,
+        hc_fit=udp_fit,
+        lc_fit=first_fit,
+        description=(
+            "criticality-aware; HC worst-fit on U_HH-U_LH, LC first-fit"
+        ),
+    )
+
+
+def cu_udp() -> PartitioningStrategy:
+    """CU-UDP — the criticality-unaware variant."""
+    return PartitioningStrategy(
+        name="cu-udp",
+        order=order_criticality_unaware,
+        hc_fit=udp_fit,
+        lc_fit=first_fit,
+        description=(
+            "criticality-unaware order; HC worst-fit on U_HH-U_LH, LC first-fit"
+        ),
+    )
+
+
+register_strategy("ca-udp", ca_udp)
+register_strategy("cu-udp", cu_udp)

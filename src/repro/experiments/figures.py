@@ -1,0 +1,197 @@
+"""Per-figure experiment configurations and runners.
+
+Each function reproduces one figure of the paper and returns a
+:class:`FigureResult` carrying the same series the paper plots.  Scale is
+controlled by ``samples`` (task sets per ``UB`` bucket — the paper used
+1000) and can also be set via the ``REPRO_SAMPLES`` environment variable;
+see :func:`default_samples`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.experiments.acceptance import AcceptanceSweep, SweepConfig, SweepResult
+from repro.experiments.algorithms import PartitionedAlgorithm, get_algorithm
+from repro.experiments.weighted import weighted_acceptance_ratio
+
+__all__ = [
+    "FigureResult",
+    "FIGURES",
+    "default_samples",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "run_figure",
+]
+
+#: Series of each figure, exactly as plotted in the paper.
+FIG3_ALGORITHMS = ("ca-udp-edf-vd", "cu-udp-edf-vd", "ca-nosort-f-f-edf-vd")
+FIG45_ALGORITHMS = ("cu-udp-amc", "cu-udp-ecdf", "eca-wu-f-ey", "ca-f-f-ey")
+FIG6A_ALGORITHMS = FIG3_ALGORITHMS
+FIG6B_ALGORITHMS = (
+    "ca-udp-amc",
+    "cu-udp-amc",
+    "ca-udp-ecdf",
+    "cu-udp-ecdf",
+    "eca-wu-f-ey",
+    "ca-f-f-ey",
+)
+
+#: PH values swept by Figure 6.
+FIG6_PH_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+FIG6_M_VALUES = (2, 4)
+
+
+def default_samples(fallback: int = 100) -> int:
+    """Samples per bucket: ``REPRO_SAMPLES`` env var or ``fallback``."""
+    raw = os.environ.get("REPRO_SAMPLES", "")
+    if raw:
+        value = int(raw)
+        if value <= 0:
+            raise ValueError(f"REPRO_SAMPLES must be positive, got {value}")
+        return value
+    return fallback
+
+
+@dataclass
+class FigureResult:
+    """Everything a figure reports.
+
+    ``sweeps`` holds one :class:`SweepResult` per sub-figure (keyed e.g. by
+    ``m=2``); ``war`` holds weighted-acceptance-ratio tables for Figure 6
+    (keyed by ``(m, PH)`` then algorithm).
+    """
+
+    figure: str
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+    war: dict[tuple[int, float], dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def algorithms(self) -> list[str]:
+        for sweep in self.sweeps.values():
+            return list(sweep.ratios)
+        for table in self.war.values():
+            return list(table)
+        return []
+
+
+def _algorithms(names: tuple[str, ...]) -> list[PartitionedAlgorithm]:
+    return [get_algorithm(name) for name in names]
+
+
+def _acceptance_figure(
+    figure: str,
+    algorithm_names: tuple[str, ...],
+    deadline_type: str,
+    m_values: tuple[int, ...],
+    samples: int | None,
+) -> FigureResult:
+    samples = samples if samples is not None else default_samples()
+    result = FigureResult(figure)
+    for m in m_values:
+        config = SweepConfig(
+            label=figure,
+            m=m,
+            deadline_type=deadline_type,
+            samples_per_bucket=samples,
+        )
+        sweep = AcceptanceSweep(config)
+        result.sweeps[f"m={m}"] = sweep.run(_algorithms(algorithm_names))
+    return result
+
+
+def fig3(
+    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
+) -> FigureResult:
+    """Figure 3: implicit deadlines, EDF-VD algorithms (speed-up bound 8/3)."""
+    return _acceptance_figure("fig3", FIG3_ALGORITHMS, "implicit", m_values, samples)
+
+
+def fig4(
+    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
+) -> FigureResult:
+    """Figure 4: implicit deadlines, algorithms without a speed-up bound."""
+    return _acceptance_figure("fig4", FIG45_ALGORITHMS, "implicit", m_values, samples)
+
+
+def fig5(
+    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
+) -> FigureResult:
+    """Figure 5: constrained deadlines, algorithms without a speed-up bound."""
+    return _acceptance_figure(
+        "fig5", FIG45_ALGORITHMS, "constrained", m_values, samples
+    )
+
+
+def _war_figure(
+    figure: str,
+    algorithm_names: tuple[str, ...],
+    deadline_type: str,
+    samples: int | None,
+    ph_values: tuple[float, ...],
+    m_values: tuple[int, ...],
+) -> FigureResult:
+    samples = samples if samples is not None else default_samples()
+    result = FigureResult(figure)
+    algorithms = _algorithms(algorithm_names)
+    for m in m_values:
+        for ph in ph_values:
+            config = SweepConfig(
+                label=figure,
+                m=m,
+                deadline_type=deadline_type,
+                p_high=ph,
+                samples_per_bucket=samples,
+            )
+            sweep = AcceptanceSweep(config).run(algorithms)
+            result.sweeps[f"m={m},PH={ph}"] = sweep
+            result.war[(m, ph)] = {
+                name: weighted_acceptance_ratio(sweep.buckets, ratios)
+                for name, ratios in sweep.ratios.items()
+            }
+    return result
+
+
+def fig6a(
+    samples: int | None = None,
+    ph_values: tuple[float, ...] = FIG6_PH_VALUES,
+    m_values: tuple[int, ...] = FIG6_M_VALUES,
+) -> FigureResult:
+    """Figure 6a: WAR vs PH, implicit deadlines, EDF-VD algorithms."""
+    return _war_figure(
+        "fig6a", FIG6A_ALGORITHMS, "implicit", samples, ph_values, m_values
+    )
+
+
+def fig6b(
+    samples: int | None = None,
+    ph_values: tuple[float, ...] = FIG6_PH_VALUES,
+    m_values: tuple[int, ...] = FIG6_M_VALUES,
+) -> FigureResult:
+    """Figure 6b: WAR vs PH, constrained deadlines, AMC/ECDF vs EY."""
+    return _war_figure(
+        "fig6b", FIG6B_ALGORITHMS, "constrained", samples, ph_values, m_values
+    )
+
+
+FIGURES = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+}
+
+
+def run_figure(name: str, samples: int | None = None, **kwargs) -> FigureResult:
+    """Dispatch by figure name (``fig3`` ... ``fig6b``)."""
+    try:
+        runner = FIGURES[name]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {name!r}; known: {known}") from None
+    return runner(samples=samples, **kwargs)

@@ -1,0 +1,91 @@
+"""Rendering experiment results as the rows/series the paper reports."""
+
+from __future__ import annotations
+
+import io
+
+from repro.util.tables import format_table
+from repro.experiments.acceptance import SweepResult
+from repro.experiments.figures import FigureResult
+
+__all__ = [
+    "render_sweep",
+    "render_war",
+    "improvement_summary",
+    "render_figure",
+    "sweep_to_csv",
+]
+
+
+def render_sweep(sweep: SweepResult, title: str | None = None) -> str:
+    """Acceptance-ratio table: one row per ``UB`` bucket."""
+    headers = ["UB", "sets"] + list(sweep.ratios)
+    rows = []
+    for idx, bucket in enumerate(sweep.buckets):
+        row: list[object] = [f"{bucket:.2f}", sweep.samples[idx]]
+        row.extend(sweep.ratios[name][idx] for name in sweep.ratios)
+        rows.append(row)
+    label = title or (
+        f"{sweep.config.label} m={sweep.config.m} "
+        f"({sweep.config.deadline_type}, PH={sweep.config.p_high})"
+    )
+    return format_table(headers, rows, title=label)
+
+
+def render_war(result: FigureResult) -> str:
+    """Weighted-acceptance-ratio table: one row per (m, PH)."""
+    if not result.war:
+        raise ValueError(f"{result.figure} carries no WAR data")
+    algorithms = result.algorithms
+    headers = ["m", "PH"] + algorithms
+    rows = []
+    for (m, ph), table in sorted(result.war.items()):
+        rows.append([m, f"{ph:.1f}"] + [table[name] for name in algorithms])
+    return format_table(headers, rows, title=f"{result.figure}: WAR vs PH")
+
+
+def improvement_summary(
+    sweep: SweepResult, candidates: list[str], baselines: list[str]
+) -> str:
+    """Max acceptance-ratio gains — the paper's headline statistic.
+
+    One row per (candidate, baseline) pair with the largest percentage-point
+    improvement across the swept ``UB`` buckets.
+    """
+    rows = []
+    for candidate in candidates:
+        for baseline in baselines:
+            if candidate == baseline:
+                continue
+            rows.append(
+                [candidate, baseline, sweep.max_improvement(candidate, baseline)]
+            )
+    return format_table(
+        ["algorithm", "baseline", "max gain (pp)"],
+        rows,
+        floatfmt=".1f",
+        title=f"max schedulability improvement ({sweep.config.label}, "
+        f"m={sweep.config.m})",
+    )
+
+
+def render_figure(result: FigureResult) -> str:
+    """Full text report of a figure: sweeps, WAR tables, improvements."""
+    parts = []
+    for key, sweep in result.sweeps.items():
+        parts.append(render_sweep(sweep, title=f"{result.figure} {key}"))
+    if result.war:
+        parts.append(render_war(result))
+    return "\n\n".join(parts)
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """CSV form of an acceptance sweep (header + one row per bucket)."""
+    buffer = io.StringIO()
+    names = list(sweep.ratios)
+    buffer.write(",".join(["ub", "sets"] + names) + "\n")
+    for idx, bucket in enumerate(sweep.buckets):
+        cells = [f"{bucket:.3f}", str(sweep.samples[idx])]
+        cells += [f"{sweep.ratios[name][idx]:.4f}" for name in names]
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()

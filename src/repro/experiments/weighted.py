@@ -1,0 +1,30 @@
+"""Weighted acceptance ratio (Figure 6 metric).
+
+The paper defines::
+
+    WAR(S) = sum_{UB in S} AR(UB) * UB / sum_{UB in S} UB
+
+weighting each bucket's acceptance ratio by its utilization — heavier
+workloads count more, so WAR rewards algorithms that stay schedulable under
+load rather than ones that only win on easy sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["weighted_acceptance_ratio"]
+
+
+def weighted_acceptance_ratio(
+    buckets: Sequence[float], ratios: Sequence[float]
+) -> float:
+    """``WAR`` over ``(UB, AR)`` pairs; see module docstring."""
+    if len(buckets) != len(ratios):
+        raise ValueError(
+            f"bucket/ratio length mismatch: {len(buckets)} != {len(ratios)}"
+        )
+    total_weight = sum(buckets)
+    if total_weight <= 0:
+        raise ValueError("weighted acceptance ratio needs positive UB weights")
+    return sum(ar * ub for ub, ar in zip(buckets, ratios)) / total_weight

@@ -1,0 +1,33 @@
+"""Synthetic MC task-set generation (system S9 in DESIGN.md).
+
+Implements the experiment setup of Section IV of the paper: the fair MC
+task-set generator of Ramanathan & Easwaran (WATERS 2016) built on the
+standard utilization-distribution techniques — UUniFast / UUniFast-discard
+(Bini & Buttazzo) and Stafford's randfixedsum (Emberson, Stafford & Davis,
+WATERS 2010) — with log-uniform periods.
+"""
+
+from repro.generator.grid import (
+    GridPoint,
+    UtilizationGrid,
+    bucket_by_bound,
+)
+from repro.generator.mcgen import GeneratorConfig, MCTaskSetGenerator
+from repro.generator.periods import log_uniform_periods
+from repro.generator.uunifast import (
+    randfixedsum,
+    uunifast,
+    uunifast_discard,
+)
+
+__all__ = [
+    "GridPoint",
+    "UtilizationGrid",
+    "bucket_by_bound",
+    "GeneratorConfig",
+    "MCTaskSetGenerator",
+    "log_uniform_periods",
+    "randfixedsum",
+    "uunifast",
+    "uunifast_discard",
+]

@@ -1,0 +1,263 @@
+"""Fair dual-criticality task-set generator (Section IV of the paper).
+
+Reimplements the generator of Ramanathan & Easwaran, "Evaluation of
+Mixed-Criticality Scheduling Algorithms using a Fair Taskset Generator"
+(WATERS 2016), as parameterized in the DATE 2017 paper:
+
+* ``m`` processors; targets are the *normalized* system utilizations
+  ``U_HH``, ``U_LH``, ``U_LL`` (multiplied by ``m`` to obtain raw sums);
+* task count ``n`` uniform in ``[m+1, 5m]``; a fraction ``PH`` of tasks is
+  HC (default 0.5, varied in Figure 6);
+* individual utilizations in ``[u_min, u_max] = [0.001, 0.99]``, drawn with
+  UUniFast-discard (randfixedsum fallback when rejection rates explode);
+* HC tasks additionally satisfy ``u_i^L <= u_i^H`` with
+  ``sum u_i^L = m * U_LH`` exactly;
+* periods log-uniform in ``[10, 500]``; ``C = ceil(u * T)``; deadlines equal
+  to periods (implicit) or uniform in ``[C^H, T]`` (constrained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model import Criticality, MCTask, TaskSet
+from repro.generator.periods import log_uniform_periods
+from repro.generator.uunifast import randfixedsum, uunifast_discard
+
+__all__ = ["GeneratorConfig", "MCTaskSetGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the fair task-set generator (paper defaults)."""
+
+    m: int = 2
+    u_min: float = 0.001
+    u_max: float = 0.99
+    p_high: float = 0.5
+    n_min: int | None = None  #: default m + 1
+    n_max: int | None = None  #: default 5 * m
+    t_min: int = 10
+    t_max: int = 500
+    deadline_type: str = "implicit"  #: "implicit" or "constrained"
+    max_attempts: int = 64  #: resampling attempts before giving up
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError(f"m must be positive, got {self.m}")
+        if not 0 < self.u_min < self.u_max <= 1.0:
+            raise ValueError(
+                f"need 0 < u_min < u_max <= 1, got [{self.u_min}, {self.u_max}]"
+            )
+        if not 0.0 < self.p_high < 1.0:
+            raise ValueError(f"p_high must be in (0, 1), got {self.p_high}")
+        if self.deadline_type not in ("implicit", "constrained"):
+            raise ValueError(
+                "deadline_type must be 'implicit' or 'constrained', "
+                f"got {self.deadline_type!r}"
+            )
+
+    @property
+    def task_count_range(self) -> tuple[int, int]:
+        """Inclusive ``(n_min, n_max)`` with the paper's ``[m+1, 5m]`` default."""
+        lo = self.n_min if self.n_min is not None else self.m + 1
+        hi = self.n_max if self.n_max is not None else 5 * self.m
+        if not 2 <= lo <= hi:
+            raise ValueError(f"invalid task count range [{lo}, {hi}]")
+        return lo, hi
+
+
+@dataclass
+class _Targets:
+    """Raw (un-normalized) utilization targets for one task set."""
+
+    hh: float
+    lh: float
+    ll: float
+    n_high: int
+    n_low: int
+
+
+class MCTaskSetGenerator:
+    """Generates dual-criticality task sets hitting exact utilization sums."""
+
+    def __init__(self, config: GeneratorConfig | None = None, **kwargs):
+        """Accepts a ready config or the config's keyword arguments."""
+        if config is not None and kwargs:
+            raise TypeError("pass either a GeneratorConfig or kwargs, not both")
+        self.config = config if config is not None else GeneratorConfig(**kwargs)
+        #: counters for diagnostics: generated sets, resampling retries and
+        #: proportional LO/HI coupling fallbacks (see :meth:`_couple_lo_hi`)
+        self.stats: dict[str, int] = {
+            "generated": 0,
+            "retries": 0,
+            "coupling_fallbacks": 0,
+        }
+
+    # -- public API ---------------------------------------------------------
+    def generate(
+        self,
+        rng: np.random.Generator,
+        u_hh: float,
+        u_lh: float,
+        u_ll: float,
+    ) -> TaskSet | None:
+        """One task set with normalized targets ``(U_HH, U_LH, U_LL)``.
+
+        Returns None when the targets are infeasible under the config (e.g.
+        ``m * U_HH > n_max * u_max``) after ``max_attempts`` resamples.
+        """
+        if not 0 <= u_lh <= u_hh:
+            raise ValueError(f"need 0 <= U_LH <= U_HH, got {u_lh} > {u_hh}")
+        if u_ll < 0:
+            raise ValueError(f"U_LL must be non-negative, got {u_ll}")
+        for _ in range(self.config.max_attempts):
+            targets = self._draw_structure(rng, u_hh, u_lh, u_ll)
+            if targets is None:
+                self.stats["retries"] += 1
+                continue
+            taskset = self._realize(rng, targets)
+            if taskset is not None:
+                self.stats["generated"] += 1
+                return taskset
+            self.stats["retries"] += 1
+        return None
+
+    def generate_many(
+        self,
+        rng: np.random.Generator,
+        u_hh: float,
+        u_lh: float,
+        u_ll: float,
+        count: int,
+    ) -> list[TaskSet]:
+        """Up to ``count`` task sets for the same targets (skips failures)."""
+        out = []
+        for _ in range(count):
+            ts = self.generate(rng, u_hh, u_lh, u_ll)
+            if ts is not None:
+                out.append(ts)
+        return out
+
+    # -- structure ------------------------------------------------------------
+    def _draw_structure(
+        self,
+        rng: np.random.Generator,
+        u_hh: float,
+        u_lh: float,
+        u_ll: float,
+    ) -> _Targets | None:
+        cfg = self.config
+        hh, lh, ll = u_hh * cfg.m, u_lh * cfg.m, u_ll * cfg.m
+        n_lo, n_hi = cfg.task_count_range
+        n = int(rng.integers(n_lo, n_hi + 1))
+        n_high = int(round(cfg.p_high * n))
+        n_high = min(max(n_high, 1), n - 1)
+        n_low = n - n_high
+        feasible = (
+            n_high * cfg.u_min <= hh <= n_high * cfg.u_max
+            and n_high * cfg.u_min <= lh
+            and n_low * cfg.u_min <= ll <= n_low * cfg.u_max
+        )
+        if not feasible:
+            return None
+        return _Targets(hh, lh, ll, n_high, n_low)
+
+    # -- utilizations ------------------------------------------------------------
+    def _draw_vector(
+        self, rng: np.random.Generator, n: int, total: float, u_max: float
+    ) -> np.ndarray | None:
+        """One utilization vector in ``[u_min, u_max]^n`` summing to total."""
+        cfg = self.config
+        values = uunifast_discard(
+            rng, n, total, cfg.u_min, u_max, max_attempts=100
+        )
+        if values is None:
+            values = randfixedsum(rng, n, total, cfg.u_min, u_max)
+        return values
+
+    def _couple_lo_hi(
+        self,
+        rng: np.random.Generator,
+        u_high: np.ndarray,
+        lh: float,
+    ) -> np.ndarray | None:
+        """LO utilizations for HC tasks: sum ``lh`` and ``u_lo <= u_hi``.
+
+        Tries unbiased random pairing first, then rank pairing (sort both
+        descending), then the exact proportional fallback
+        ``u_lo = u_hi * lh / sum(u_hi)``.
+        """
+        cfg = self.config
+        n = len(u_high)
+        for _ in range(20):
+            u_low = self._draw_vector(rng, n, lh, cfg.u_max)
+            if u_low is None:
+                break
+            if np.all(u_low <= u_high + 1e-12):
+                return np.minimum(u_low, u_high)
+            order_low = np.argsort(-u_low)
+            order_high = np.argsort(-u_high)
+            paired = np.empty(n)
+            paired[order_high] = u_low[order_low]
+            if np.all(paired <= u_high + 1e-12):
+                return np.minimum(paired, u_high)
+        self.stats["coupling_fallbacks"] += 1
+        scale = lh / u_high.sum()
+        if scale > 1.0 + 1e-12:
+            return None
+        return u_high * min(scale, 1.0)
+
+    # -- realization -----------------------------------------------------------
+    def _realize(self, rng: np.random.Generator, t: _Targets) -> TaskSet | None:
+        cfg = self.config
+        u_hi = self._draw_vector(rng, t.n_high, t.hh, cfg.u_max)
+        if u_hi is None:
+            return None
+        u_lo_high = self._couple_lo_hi(rng, u_hi, t.lh)
+        if u_lo_high is None:
+            return None
+        u_lo_low = self._draw_vector(rng, t.n_low, t.ll, cfg.u_max)
+        if u_lo_low is None:
+            return None
+
+        n = t.n_high + t.n_low
+        periods = log_uniform_periods(rng, n, cfg.t_min, cfg.t_max)
+        tasks = []
+        for i in range(t.n_high):
+            period = int(periods[i])
+            c_lo = max(1, int(np.ceil(u_lo_high[i] * period)))
+            c_hi = max(c_lo, int(np.ceil(u_hi[i] * period)))
+            deadline = self._draw_deadline(rng, c_hi, period)
+            tasks.append(
+                MCTask(
+                    period=period,
+                    criticality=Criticality.HC,
+                    wcet_lo=c_lo,
+                    wcet_hi=c_hi,
+                    deadline=deadline,
+                )
+            )
+        for i in range(t.n_low):
+            period = int(periods[t.n_high + i])
+            c_lo = max(1, int(np.ceil(u_lo_low[i] * period)))
+            deadline = self._draw_deadline(rng, c_lo, period)
+            tasks.append(
+                MCTask(
+                    period=period,
+                    criticality=Criticality.LC,
+                    wcet_lo=c_lo,
+                    wcet_hi=c_lo,
+                    deadline=deadline,
+                )
+            )
+        return TaskSet(tasks)
+
+    def _draw_deadline(
+        self, rng: np.random.Generator, wcet_hi: int, period: int
+    ) -> int:
+        if self.config.deadline_type == "implicit":
+            return period
+        return int(rng.integers(wcet_hi, period + 1))

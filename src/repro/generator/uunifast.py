@@ -1,0 +1,155 @@
+"""Unbiased utilization-vector generators.
+
+Three standard techniques used by the real-time systems community to draw
+``n`` per-task utilizations summing to a target ``U``:
+
+* :func:`uunifast` — Bini & Buttazzo's UUniFast: exact-sum, uniform over the
+  simplex, but individual values may exceed 1 when ``U > 1``.
+* :func:`uunifast_discard` — UUniFast with rejection of vectors containing a
+  value outside ``[u_min, u_max]`` (Davis & Burns); this is the "standard
+  technique ensuring a uniform distribution" referenced in Section IV of the
+  paper.
+* :func:`randfixedsum` — Stafford's algorithm (as popularized for task-set
+  synthesis by Emberson, Stafford & Davis, WATERS 2010): uniform over the
+  intersection of the simplex and the ``[u_min, u_max]^n`` box without
+  rejection, preferable when rejection rates explode (``U`` close to
+  ``n * u_max``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uunifast", "uunifast_discard", "randfixedsum"]
+
+
+def uunifast(rng: np.random.Generator, n: int, total: float) -> np.ndarray:
+    """UUniFast: ``n`` non-negative values summing exactly to ``total``.
+
+    Uniformly distributed over the ``(n-1)``-simplex scaled by ``total``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if n == 1:
+        return np.asarray([total])
+    values = np.empty(n)
+    remaining = total
+    for i in range(n - 1):
+        nxt = remaining * rng.random() ** (1.0 / (n - 1 - i))
+        values[i] = remaining - nxt
+        remaining = nxt
+    values[n - 1] = remaining
+    return values
+
+
+def uunifast_discard(
+    rng: np.random.Generator,
+    n: int,
+    total: float,
+    u_min: float = 0.0,
+    u_max: float = 1.0,
+    max_attempts: int = 1000,
+) -> np.ndarray | None:
+    """UUniFast-discard: reject vectors with a value outside ``[u_min, u_max]``.
+
+    Returns None when no feasible vector was found within ``max_attempts``
+    (also immediately when the box is infeasible: ``total > n*u_max`` or
+    ``total < n*u_min``).
+    """
+    if total > n * u_max + 1e-12 or total < n * u_min - 1e-12:
+        return None
+    for _ in range(max_attempts):
+        values = uunifast(rng, n, total)
+        if values.max(initial=0.0) <= u_max and values.min(initial=1.0) >= u_min:
+            return values
+    return None
+
+
+def randfixedsum(
+    rng: np.random.Generator,
+    n: int,
+    total: float,
+    u_min: float = 0.0,
+    u_max: float = 1.0,
+) -> np.ndarray | None:
+    """Stafford's randfixedsum restricted to ``[u_min, u_max]^n``.
+
+    Draws a vector uniformly from the set
+    ``{u in [u_min, u_max]^n : sum(u) = total}`` without rejection.
+    Returns None when that set is empty.
+
+    Implementation follows the published MATLAB ``randfixedsum`` (Roger
+    Stafford, 2006) specialized to a single output vector, after an affine
+    map of the box to ``[0, 1]^n``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if u_max < u_min:
+        raise ValueError(f"u_max ({u_max}) < u_min ({u_min})")
+    width = u_max - u_min
+    if width <= 0:
+        if abs(total - n * u_min) <= 1e-12:
+            return np.full(n, u_min)
+        return None
+    # Map to s = sum of n values in [0, 1].
+    s = (total - n * u_min) / width
+    if s < -1e-12 or s > n + 1e-12:
+        return None
+    s = min(max(s, 0.0), float(n))
+    if n == 1:
+        return np.asarray([u_min + s * width])
+
+    k = int(min(max(np.floor(s), 0), n - 1))
+    s = max(k, min(s, k + 1))
+    s1 = s - np.arange(k, k - n, -1)
+    s2 = np.arange(k + n, k, -1) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[: i] / i
+        tmp2 = w[i - 2, 0:i] * s2[n - i : n] / i
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[: i]
+        t[i - 2, 0:i] = (tmp2 / tmp3) * tmp4 + (1 - tmp1 / tmp3) * (~tmp4)
+
+    x = np.zeros(n + 1)
+    rt = rng.random(n - 1)
+    rs = rng.random(n - 1)
+    j = k + 1
+    sm = 0.0
+    pr = 1.0
+    for i in range(n - 1, 0, -1):
+        e = float(rt[n - 1 - i] <= t[i - 1, j - 1])
+        sx = rs[n - 1 - i] ** (1.0 / i)
+        sm += (1.0 - sx) * pr * s / (i + 1)
+        pr *= sx
+        x[n - 1 - i] = sm + pr * e
+        s = s - e
+        j = j - int(e)
+    x[n - 1] = sm + pr * s
+
+    # Random permutation for exchangeability, then map back to the box.
+    values = x[:n]
+    rng.shuffle(values)
+    result = u_min + values * width
+    # Guard against round-off drifting outside the box.
+    np.clip(result, u_min, u_max, out=result)
+    drift = total - result.sum()
+    if abs(drift) > 1e-9:
+        # Spread residual drift over entries with headroom.
+        order = np.argsort(result) if drift > 0 else np.argsort(-result)
+        for idx in order:
+            room = (u_max - result[idx]) if drift > 0 else (result[idx] - u_min)
+            adjust = np.sign(drift) * min(abs(drift), room)
+            result[idx] += adjust
+            drift -= adjust
+            if abs(drift) <= 1e-12:
+                break
+    return result

@@ -1,0 +1,30 @@
+"""Dual-criticality sporadic task model (system S1 in DESIGN.md).
+
+The model follows Section II of the paper: each task is a tuple
+``(T, chi, C_L, C_H, D)`` with criticality ``chi`` in ``{LC, HC}``, LO/HI-mode
+execution requirements ``C_L <= C_H`` (``C_L == C_H`` for LC tasks by
+convention), minimum release separation ``T`` and relative deadline ``D``
+(``D == T`` implicit-deadline, ``D <= T`` constrained-deadline).
+"""
+
+from repro.model.criticality import Criticality
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet, UtilizationSummary
+from repro.model.validation import (
+    TaskModelError,
+    validate_task,
+    validate_taskset,
+)
+
+__all__ = [
+    "Criticality",
+    "MCTask",
+    "TaskSet",
+    "UtilizationSummary",
+    "TaskModelError",
+    "validate_task",
+    "validate_taskset",
+]
+
+# repro.model.transforms is import-cycle-free but pulls in numpy; import it
+# lazily through its own module path (documented in the package docstring).

@@ -1,0 +1,37 @@
+"""Criticality levels for dual-criticality systems."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Criticality"]
+
+
+class Criticality(enum.IntEnum):
+    """Task criticality level.
+
+    The paper considers dual-criticality systems with levels LC
+    (low-criticality) and HC (high-criticality).  ``IntEnum`` ordering gives
+    ``LC < HC``, which matches "higher value = more critical" and lets
+    criticality-aware allocation sort directly on the enum.
+    """
+
+    LC = 0
+    HC = 1
+
+    @property
+    def is_high(self) -> bool:
+        """True for HC tasks."""
+        return self is Criticality.HC
+
+    @classmethod
+    def parse(cls, value: "Criticality | str | int") -> "Criticality":
+        """Coerce ``value`` ('LC'/'HC', 0/1 or enum) to a :class:`Criticality`."""
+        if isinstance(value, Criticality):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(f"unknown criticality name: {value!r}") from None
+        return cls(value)

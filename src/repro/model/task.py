@@ -1,0 +1,194 @@
+"""The mixed-criticality sporadic task type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.model.criticality import Criticality
+
+__all__ = ["MCTask"]
+
+_TASK_COUNTER = 0
+
+
+def _next_task_id() -> int:
+    global _TASK_COUNTER
+    _TASK_COUNTER += 1
+    return _TASK_COUNTER
+
+
+@dataclass(frozen=True)
+class MCTask:
+    """A dual-criticality sporadic task ``(T, chi, C_L, C_H, D)``.
+
+    Attributes
+    ----------
+    period:
+        Minimum release separation ``T_i`` (positive integer).
+    criticality:
+        ``Criticality.LC`` or ``Criticality.HC``.
+    wcet_lo:
+        LO-mode (low-criticality) execution requirement ``C_i^L``.
+    wcet_hi:
+        HI-mode execution requirement ``C_i^H``; for LC tasks this must equal
+        ``wcet_lo`` (an LC task is abandoned rather than extended in HI mode).
+    deadline:
+        Relative deadline ``D_i``; defaults to ``period`` (implicit deadline).
+    name:
+        Optional human-readable label; auto-generated when omitted.
+    task_id:
+        Stable unique integer identity (used by partitioners and the
+        simulator); auto-assigned when omitted.
+
+    The class is frozen so tasks can be shared between task sets, used as
+    dictionary keys, and safely cached by the analyses.
+    """
+
+    period: int
+    criticality: Criticality
+    wcet_lo: int
+    wcet_hi: int
+    deadline: int = -1  # placeholder replaced in __post_init__
+    name: str = ""
+    task_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "criticality", Criticality.parse(self.criticality))
+        if self.deadline == -1:
+            object.__setattr__(self, "deadline", self.period)
+        if self.task_id == -1:
+            object.__setattr__(self, "task_id", _next_task_id())
+        if not self.name:
+            prefix = "hc" if self.criticality.is_high else "lc"
+            object.__setattr__(self, "name", f"{prefix}{self.task_id}")
+        _check_fields(self)
+
+    # -- utilization -----------------------------------------------------
+    @property
+    def utilization_lo(self) -> float:
+        """LO-mode utilization ``u_i^L = C_i^L / T_i``."""
+        return self.wcet_lo / self.period
+
+    @property
+    def utilization_hi(self) -> float:
+        """HI-mode utilization ``u_i^H = C_i^H / T_i``."""
+        return self.wcet_hi / self.period
+
+    @property
+    def utilization_at_own_level(self) -> float:
+        """``u_i^H`` for HC tasks, ``u_i^L`` for LC tasks.
+
+        This is the sort key used by every "sorted by utilization values at
+        their respective criticality levels" rule in the paper.
+        """
+        if self.criticality.is_high:
+            return self.utilization_hi
+        return self.utilization_lo
+
+    @property
+    def utilization_difference(self) -> float:
+        """``u_i^H - u_i^L`` (zero for LC tasks); the UDP balancing quantity."""
+        return self.utilization_hi - self.utilization_lo
+
+    @property
+    def density_lo(self) -> float:
+        """LO-mode density ``C_i^L / min(D_i, T_i)``."""
+        return self.wcet_lo / min(self.deadline, self.period)
+
+    @property
+    def density_hi(self) -> float:
+        """HI-mode density ``C_i^H / min(D_i, T_i)``."""
+        return self.wcet_hi / min(self.deadline, self.period)
+
+    @property
+    def is_high(self) -> bool:
+        """True for HC tasks."""
+        return self.criticality.is_high
+
+    @property
+    def implicit_deadline(self) -> bool:
+        """True when ``D_i == T_i``."""
+        return self.deadline == self.period
+
+    @property
+    def constrained_deadline(self) -> bool:
+        """True when ``D_i <= T_i`` (includes implicit)."""
+        return self.deadline <= self.period
+
+    # -- convenience -----------------------------------------------------
+    def with_deadline(self, deadline: int) -> "MCTask":
+        """Copy of this task with a different relative deadline."""
+        return replace(self, deadline=deadline)
+
+    def scaled(self, speed: float) -> "MCTask":
+        """Copy of this task on a processor of relative ``speed`` > 0.
+
+        Execution requirements shrink by the speed factor (rounded up to
+        preserve the integer time model and soundness).  Used by the speed-up
+        bound experiments.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        import math
+
+        lo = max(1, math.ceil(self.wcet_lo / speed))
+        hi = max(lo, math.ceil(self.wcet_hi / speed))
+        if not self.criticality.is_high:
+            hi = lo
+        return replace(self, wcet_lo=lo, wcet_hi=hi)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "period": self.period,
+            "criticality": self.criticality.name,
+            "wcet_lo": self.wcet_lo,
+            "wcet_hi": self.wcet_hi,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MCTask":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        return cls(
+            period=int(data["period"]),
+            criticality=Criticality.parse(data["criticality"]),
+            wcet_lo=int(data["wcet_lo"]),
+            wcet_hi=int(data["wcet_hi"]),
+            deadline=int(data.get("deadline", data["period"])),
+            name=str(data.get("name", "")),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}({self.criticality.name}, T={self.period}, "
+            f"C_L={self.wcet_lo}, C_H={self.wcet_hi}, D={self.deadline})"
+        )
+
+
+def _check_fields(task: MCTask) -> None:
+    """Validate basic well-formedness; full checks live in validation.py."""
+    if task.period <= 0:
+        raise ValueError(f"{task.name}: period must be positive, got {task.period}")
+    if task.wcet_lo <= 0:
+        raise ValueError(f"{task.name}: wcet_lo must be positive, got {task.wcet_lo}")
+    if task.wcet_hi < task.wcet_lo:
+        raise ValueError(
+            f"{task.name}: wcet_hi ({task.wcet_hi}) < wcet_lo ({task.wcet_lo})"
+        )
+    if not task.criticality.is_high and task.wcet_hi != task.wcet_lo:
+        raise ValueError(
+            f"{task.name}: LC task must have wcet_hi == wcet_lo "
+            f"({task.wcet_hi} != {task.wcet_lo})"
+        )
+    if task.deadline <= 0:
+        raise ValueError(f"{task.name}: deadline must be positive, got {task.deadline}")
+    for attr in ("period", "wcet_lo", "wcet_hi", "deadline"):
+        value = getattr(task, attr)
+        if not isinstance(value, int):
+            raise TypeError(
+                f"{task.name}: {attr} must be an int (integer time model), "
+                f"got {type(value).__name__}"
+            )

@@ -1,0 +1,192 @@
+"""Task-set container with the utilization aggregates used throughout.
+
+``TaskSet`` is an immutable sequence of :class:`~repro.model.task.MCTask`
+with cached system-level utilization sums.  The names mirror the paper:
+``U_LL`` (LO utilization of LC tasks), ``U_LH`` (LO utilization of HC tasks)
+and ``U_HH`` (HI utilization of HC tasks), either raw (per processor) or
+normalized by a processor count ``m``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any
+
+from repro.model.criticality import Criticality
+from repro.model.task import MCTask
+from repro.util.intmath import hyperperiod
+
+__all__ = ["TaskSet", "UtilizationSummary"]
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """System-level utilization sums of a task set (un-normalized)."""
+
+    u_ll: float  #: sum of u_i^L over LC tasks
+    u_lh: float  #: sum of u_i^L over HC tasks
+    u_hh: float  #: sum of u_i^H over HC tasks
+
+    @property
+    def u_lo(self) -> float:
+        """Total LO-mode utilization ``U_LL + U_LH``."""
+        return self.u_ll + self.u_lh
+
+    @property
+    def difference(self) -> float:
+        """The UDP quantity ``U_HH - U_LH``."""
+        return self.u_hh - self.u_lh
+
+    @property
+    def bound(self) -> float:
+        """``UB = max(U_LH + U_LL, U_HH)`` — the paper's load metric."""
+        return max(self.u_lo, self.u_hh)
+
+    def normalized(self, m: int) -> "UtilizationSummary":
+        """Summary divided by processor count ``m``."""
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        return UtilizationSummary(self.u_ll / m, self.u_lh / m, self.u_hh / m)
+
+
+class TaskSet(Sequence[MCTask]):
+    """Immutable ordered collection of MC tasks.
+
+    Supports the usual sequence protocol plus utilization aggregates,
+    criticality filtering and cheap functional updates (``with_task``).
+    Instances hash by task identity so analyses can memoize on them.
+    """
+
+    __slots__ = ("_tasks", "_hash", "__dict__")
+
+    def __init__(self, tasks: Iterable[MCTask] = ()):
+        tasks = tuple(tasks)
+        for task in tasks:
+            if not isinstance(task, MCTask):
+                raise TypeError(f"TaskSet items must be MCTask, got {type(task)!r}")
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("TaskSet contains duplicate task_ids")
+        object.__setattr__(self, "_tasks", tasks)
+        object.__setattr__(self, "_hash", hash(tuple(ids)))
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[MCTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return TaskSet(self._tasks[index])
+        return self._tasks[index]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskSet({len(self._tasks)} tasks, UB={self.utilization.bound:.3f})"
+
+    # -- construction -------------------------------------------------------
+    def with_task(self, task: MCTask) -> "TaskSet":
+        """New task set with ``task`` appended."""
+        return TaskSet(self._tasks + (task,))
+
+    def without_task(self, task: MCTask) -> "TaskSet":
+        """New task set with ``task`` (by task_id) removed."""
+        remaining = tuple(t for t in self._tasks if t.task_id != task.task_id)
+        if len(remaining) == len(self._tasks):
+            raise KeyError(f"task {task.name} not in task set")
+        return TaskSet(remaining)
+
+    def sorted_by(self, key, reverse: bool = False) -> "TaskSet":
+        """New task set sorted by ``key`` (stable)."""
+        return TaskSet(sorted(self._tasks, key=key, reverse=reverse))
+
+    # -- criticality views ---------------------------------------------------
+    @cached_property
+    def high_tasks(self) -> "TaskSet":
+        """The HC tasks, in order."""
+        return TaskSet(t for t in self._tasks if t.is_high)
+
+    @cached_property
+    def low_tasks(self) -> "TaskSet":
+        """The LC tasks, in order."""
+        return TaskSet(t for t in self._tasks if not t.is_high)
+
+    def of_criticality(self, level: Criticality) -> "TaskSet":
+        """Tasks at exactly criticality ``level``."""
+        level = Criticality.parse(level)
+        return self.high_tasks if level.is_high else self.low_tasks
+
+    # -- aggregates ----------------------------------------------------------
+    @cached_property
+    def utilization(self) -> UtilizationSummary:
+        """Un-normalized system utilization sums (U_LL, U_LH, U_HH)."""
+        u_ll = sum(t.utilization_lo for t in self._tasks if not t.is_high)
+        u_lh = sum(t.utilization_lo for t in self._tasks if t.is_high)
+        u_hh = sum(t.utilization_hi for t in self._tasks if t.is_high)
+        return UtilizationSummary(u_ll, u_lh, u_hh)
+
+    @property
+    def utilization_lo(self) -> float:
+        """Total LO-mode utilization of all tasks."""
+        return self.utilization.u_lo
+
+    @property
+    def utilization_hi(self) -> float:
+        """Total HI-mode utilization of HC tasks (``U_HH``)."""
+        return self.utilization.u_hh
+
+    @cached_property
+    def max_deadline(self) -> int:
+        """Largest relative deadline (0 for an empty set)."""
+        return max((t.deadline for t in self._tasks), default=0)
+
+    @cached_property
+    def hyperperiod(self) -> int:
+        """LCM of all periods (1 for an empty set)."""
+        if not self._tasks:
+            return 1
+        return hyperperiod(t.period for t in self._tasks)
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        """True when every task has ``D == T``."""
+        return all(t.implicit_deadline for t in self._tasks)
+
+    @property
+    def is_constrained_deadline(self) -> bool:
+        """True when every task has ``D <= T``."""
+        return all(t.constrained_deadline for t in self._tasks)
+
+    # -- serialization ---------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-friendly list-of-dicts form."""
+        return [t.to_dict() for t in self._tasks]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[dict[str, Any]]) -> "TaskSet":
+        """Inverse of :meth:`to_dicts`."""
+        return cls(MCTask.from_dict(row) for row in rows)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by examples)."""
+        util = self.utilization
+        lines = [
+            f"TaskSet: {len(self)} tasks "
+            f"({len(self.high_tasks)} HC / {len(self.low_tasks)} LC)",
+            f"  U_LL={util.u_ll:.3f}  U_LH={util.u_lh:.3f}  U_HH={util.u_hh:.3f}"
+            f"  UB={util.bound:.3f}",
+        ]
+        for task in self._tasks:
+            lines.append(f"  {task}")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Whole-task-set transformations.
+
+Utilities for deriving workload variants from an existing task set —
+used by the sensitivity experiments, the speed-up analysis and as general
+library affordances (e.g. turning a constrained-deadline system back into
+an implicit one for EDF-VD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.model.taskset import TaskSet
+
+__all__ = [
+    "with_implicit_deadlines",
+    "with_constrained_deadlines",
+    "inflate_hi_budgets",
+    "squeeze_difference",
+]
+
+
+def with_implicit_deadlines(taskset: TaskSet) -> TaskSet:
+    """Copy with every deadline reset to the period."""
+    return TaskSet(replace(t, deadline=t.period) for t in taskset)
+
+
+def with_constrained_deadlines(
+    taskset: TaskSet, rng: np.random.Generator
+) -> TaskSet:
+    """Copy with deadlines drawn uniformly from ``[C_H, T]`` per task.
+
+    The same rule Section IV of the paper uses to derive its
+    constrained-deadline workloads from the generator output.
+    """
+    tasks = []
+    for t in taskset:
+        deadline = int(rng.integers(t.wcet_hi, t.period + 1))
+        tasks.append(replace(t, deadline=deadline))
+    return TaskSet(tasks)
+
+
+def inflate_hi_budgets(taskset: TaskSet, factor: float) -> TaskSet:
+    """Copy with every HC task's ``C_H`` multiplied by ``factor`` (>= 1).
+
+    Budgets are capped at ``min(D, T)`` so the result stays within the
+    model.  Models growing assurance pessimism (Vestal's motivation): the
+    more conservative the certification authority, the larger the
+    utilization difference the partitioner must absorb.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    tasks = []
+    for t in taskset:
+        if not t.is_high:
+            tasks.append(t)
+            continue
+        cap = min(t.deadline, t.period)
+        new_hi = min(cap, max(t.wcet_lo, int(round(t.wcet_hi * factor))))
+        tasks.append(replace(t, wcet_hi=new_hi))
+    return TaskSet(tasks)
+
+
+def squeeze_difference(taskset: TaskSet, ratio: float) -> TaskSet:
+    """Copy with each HC task's LO budget moved toward its HI budget.
+
+    ``ratio`` in [0, 1] interpolates ``C_L' = C_L + ratio * (C_H - C_L)``
+    (rounded down, kept >= original ``C_L`` at ratio 0 and == ``C_H`` at
+    ratio 1).  Shrinks every per-task utilization difference by the same
+    fraction — the knob the sensitivity experiment sweeps to show *when*
+    UDP partitioning matters.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+    tasks = []
+    for t in taskset:
+        if not t.is_high:
+            tasks.append(t)
+            continue
+        new_lo = t.wcet_lo + int(round(ratio * (t.wcet_hi - t.wcet_lo)))
+        tasks.append(replace(t, wcet_lo=min(new_lo, t.wcet_hi)))
+    return TaskSet(tasks)

@@ -1,0 +1,82 @@
+"""Model-level validation beyond per-field checks.
+
+:class:`~repro.model.task.MCTask` enforces field-level invariants in its
+constructor; the functions here provide whole-task and whole-set validation
+with configurable strictness, raising :class:`TaskModelError` with a message
+that names the offending task.
+"""
+
+from __future__ import annotations
+
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+__all__ = ["TaskModelError", "validate_task", "validate_taskset"]
+
+
+class TaskModelError(ValueError):
+    """A task or task set violates the dual-criticality sporadic model."""
+
+
+def validate_task(task: MCTask, require_constrained: bool = True) -> None:
+    """Validate a single task.
+
+    Parameters
+    ----------
+    task:
+        The task to check.
+    require_constrained:
+        When true (default, matching the paper's model), require
+        ``D_i <= T_i``.  Arbitrary-deadline tasks are outside the scope of
+        every analysis in :mod:`repro.analysis`, so the default is strict.
+    """
+    if task.wcet_hi > task.period and task.is_high:
+        # u_H > 1 on a unit-speed core can never be schedulable; keep it a
+        # validation error so generators fail fast rather than analyses.
+        raise TaskModelError(
+            f"{task.name}: wcet_hi ({task.wcet_hi}) exceeds period ({task.period})"
+        )
+    if task.wcet_lo > task.deadline:
+        raise TaskModelError(
+            f"{task.name}: wcet_lo ({task.wcet_lo}) exceeds deadline "
+            f"({task.deadline}); the task can never meet its deadline"
+        )
+    if task.is_high and task.wcet_hi > task.deadline:
+        raise TaskModelError(
+            f"{task.name}: wcet_hi ({task.wcet_hi}) exceeds deadline "
+            f"({task.deadline}); the task can never meet its HI-mode deadline"
+        )
+    if require_constrained and task.deadline > task.period:
+        raise TaskModelError(
+            f"{task.name}: deadline ({task.deadline}) exceeds period "
+            f"({task.period}); only constrained-deadline tasks are supported"
+        )
+
+
+def validate_taskset(
+    taskset: TaskSet,
+    require_constrained: bool = True,
+    require_dual_criticality: bool = False,
+) -> None:
+    """Validate every task plus set-level invariants.
+
+    Parameters
+    ----------
+    taskset:
+        The task set to check.
+    require_constrained:
+        Require ``D_i <= T_i`` for every task.
+    require_dual_criticality:
+        When true, require at least one HC and one LC task (the generator's
+        default regime); analyses themselves accept single-criticality sets.
+    """
+    for task in taskset:
+        validate_task(task, require_constrained=require_constrained)
+    names = [t.name for t in taskset]
+    if len(set(names)) != len(names):
+        raise TaskModelError("task names are not unique")
+    if require_dual_criticality:
+        if not taskset.high_tasks:
+            raise TaskModelError("task set has no HC tasks")
+        if not taskset.low_tasks:
+            raise TaskModelError("task set has no LC tasks")

@@ -1,0 +1,115 @@
+"""Scheduling policies for the simulator.
+
+A policy supplies the priority key for ready jobs (smaller = run first),
+whether LC work is abandoned at a mode switch, and whether the runtime is
+mode-aware at all.  The engine (:mod:`repro.sim.uniprocessor`) owns time,
+releases and the mode automaton.
+"""
+
+from __future__ import annotations
+
+from repro.model import MCTask
+
+__all__ = ["SchedulingPolicy", "EDFPolicy", "EDFVDPolicy", "AMCPolicy"]
+
+
+class SchedulingPolicy:
+    """Interface the engine drives."""
+
+    #: abandon LC jobs (and suppress LC releases) after the mode switch
+    drops_lc_on_switch: bool = True
+    #: whether exceeding the LO budget triggers a mode switch at all
+    mode_aware: bool = True
+    name: str = "abstract"
+
+    def priority_key(
+        self, task: MCTask, release: int, high_mode: bool
+    ) -> tuple:
+        """Sortable priority of a job of ``task`` released at ``release``.
+
+        Lower sorts first.  Must be stable for a given (job, mode); the
+        engine re-evaluates keys when the mode changes.
+        """
+        raise NotImplementedError
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Plain EDF on real deadlines.
+
+    With ``mode_aware=False`` (default) this is the static-reservation
+    runtime matching ``EDFTest("reservation")``: HC budgets are always
+    ``C_H`` and LC tasks are never dropped.
+    """
+
+    drops_lc_on_switch = False
+    mode_aware = False
+    name = "edf"
+
+    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
+        return (release + task.deadline, task.task_id)
+
+
+class EDFVDPolicy(SchedulingPolicy):
+    """EDF with virtual deadlines in LO mode.
+
+    In LO mode HC jobs are prioritized by their *virtual* deadline —
+    either ``release + x * D`` for the EDF-VD scaling factor ``x``, or
+    ``release + Dv`` from an explicit per-task map (the EY/ECDF runtimes).
+    After the switch, real deadlines apply and LC jobs are dropped.
+    """
+
+    drops_lc_on_switch = True
+    mode_aware = True
+
+    def __init__(
+        self,
+        scaling_factor: float = 1.0,
+        virtual_deadlines: dict[int, int] | None = None,
+    ):
+        if not 0.0 < scaling_factor <= 1.0:
+            raise ValueError(
+                f"scaling factor must be in (0, 1], got {scaling_factor}"
+            )
+        self.scaling_factor = scaling_factor
+        self.virtual_deadlines = dict(virtual_deadlines or {})
+        self.name = "edf-vd" if not self.virtual_deadlines else "edf-vd/map"
+
+    def lo_deadline(self, task: MCTask) -> float:
+        """The LO-mode (virtual) relative deadline of ``task``."""
+        if not task.is_high:
+            return float(task.deadline)
+        if task.task_id in self.virtual_deadlines:
+            return float(self.virtual_deadlines[task.task_id])
+        return self.scaling_factor * task.deadline
+
+    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
+        if high_mode:
+            return (float(release + task.deadline), task.task_id)
+        return (release + self.lo_deadline(task), task.task_id)
+
+
+class AMCPolicy(SchedulingPolicy):
+    """Fixed-priority adaptive mixed-criticality runtime.
+
+    ``priorities`` maps ``task_id -> level`` (0 = highest), as produced by
+    the AMC analyses.  Priorities do not change at the mode switch; LC jobs
+    are dropped.
+    """
+
+    drops_lc_on_switch = True
+    mode_aware = True
+    name = "amc"
+
+    def __init__(self, priorities: dict[int, int]):
+        if not priorities:
+            raise ValueError("AMCPolicy requires a non-empty priority map")
+        self.priorities = dict(priorities)
+
+    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
+        try:
+            level = self.priorities[task.task_id]
+        except KeyError:
+            raise KeyError(
+                f"task {task.name} (id {task.task_id}) missing from priority map"
+            ) from None
+        return (level, release, task.task_id)

@@ -1,0 +1,130 @@
+"""Execution-time scenarios for the simulator.
+
+A scenario answers two questions per task: when is each job released (phase;
+the inter-release separation is the period, the sporadic worst case) and how
+long does each job execute.  Execution times are bounded by ``C_H`` for HC
+tasks and ``C_L`` for LC tasks; an HC job with execution time above ``C_L``
+triggers a mode switch the moment it exhausts its LO budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import MCTask
+
+__all__ = [
+    "Scenario",
+    "NominalScenario",
+    "FixedOverrunScenario",
+    "RandomScenario",
+]
+
+
+class Scenario:
+    """Base scenario: synchronous release, every job runs its LO budget."""
+
+    def phase(self, task: MCTask) -> int:
+        """Release time of the first job (synchronous by default)."""
+        return 0
+
+    def execution_time(self, task: MCTask, job_index: int) -> int:
+        """Execution demand of the ``job_index``-th job of ``task``."""
+        return task.wcet_lo
+
+    def describe(self) -> str:
+        """Short label for reports."""
+        return type(self).__name__
+
+
+class NominalScenario(Scenario):
+    """All jobs behave: LO budgets everywhere, no mode switch ever."""
+
+
+class FixedOverrunScenario(Scenario):
+    """Deterministic overruns: chosen HC tasks exceed ``C_L`` on one job.
+
+    Parameters
+    ----------
+    overrun_task_ids:
+        HC tasks that overrun (every HC task when None).
+    overrun_job_index:
+        Which job of each overrunning task misbehaves (all jobs when None —
+        the sustained worst case used to stress HI mode).
+    """
+
+    def __init__(
+        self,
+        overrun_task_ids: set[int] | None = None,
+        overrun_job_index: int | None = None,
+    ):
+        self.overrun_task_ids = overrun_task_ids
+        self.overrun_job_index = overrun_job_index
+
+    def execution_time(self, task: MCTask, job_index: int) -> int:
+        if not task.is_high:
+            return task.wcet_lo
+        if (
+            self.overrun_task_ids is not None
+            and task.task_id not in self.overrun_task_ids
+        ):
+            return task.wcet_lo
+        if self.overrun_job_index is not None and job_index != self.overrun_job_index:
+            return task.wcet_lo
+        return task.wcet_hi
+
+    def describe(self) -> str:
+        which = "all-HC" if self.overrun_task_ids is None else "selected"
+        when = (
+            "every job"
+            if self.overrun_job_index is None
+            else f"job {self.overrun_job_index}"
+        )
+        return f"FixedOverrun({which}, {when})"
+
+
+class RandomScenario(Scenario):
+    """Randomized executions and phases for fuzz-style validation.
+
+    Each HC job overruns with probability ``overrun_prob`` (execution
+    uniform in ``(C_L, C_H]``); behaving jobs draw uniformly from
+    ``[1, C_L]``.  Phases draw uniformly from ``[0, T)`` when
+    ``random_phases`` is set.  Deterministic given the seeded ``rng`` and
+    call order, so failures replay exactly.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        overrun_prob: float = 0.1,
+        random_phases: bool = False,
+    ):
+        if not 0.0 <= overrun_prob <= 1.0:
+            raise ValueError(f"overrun_prob must be in [0,1], got {overrun_prob}")
+        self._rng = rng
+        self.overrun_prob = overrun_prob
+        self.random_phases = random_phases
+        self._phases: dict[int, int] = {}
+        self._draws: dict[tuple[int, int], int] = {}
+
+    def phase(self, task: MCTask) -> int:
+        if not self.random_phases:
+            return 0
+        if task.task_id not in self._phases:
+            self._phases[task.task_id] = int(self._rng.integers(0, task.period))
+        return self._phases[task.task_id]
+
+    def execution_time(self, task: MCTask, job_index: int) -> int:
+        key = (task.task_id, job_index)
+        if key not in self._draws:
+            if task.is_high and task.wcet_hi > task.wcet_lo and (
+                self._rng.random() < self.overrun_prob
+            ):
+                value = int(self._rng.integers(task.wcet_lo + 1, task.wcet_hi + 1))
+            else:
+                value = int(self._rng.integers(1, task.wcet_lo + 1))
+            self._draws[key] = value
+        return self._draws[key]
+
+    def describe(self) -> str:
+        return f"Random(p_overrun={self.overrun_prob}, phases={self.random_phases})"

@@ -1,0 +1,98 @@
+"""Execution traces: what ran when, in which mode.
+
+Optional instrumentation of the simulation engine.  A trace is a sequence
+of maximal segments ``(start, end, task_name | None, high_mode)`` — task
+name None meaning idle — suitable for debugging schedules, asserting
+fine-grained properties in tests, and rendering a text gantt chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceSegment", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One maximal run of a single task (or idle) in a single mode."""
+
+    start: int
+    end: int
+    task_name: str | None  #: None = idle
+    high_mode: bool
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered, gap-free list of segments over the simulated window."""
+
+    segments: list[TraceSegment] = field(default_factory=list)
+
+    def record(self, start: int, end: int, task_name: str | None, high: bool) -> None:
+        """Append execution of ``task_name`` over ``[start, end)``, merging
+        with the previous segment when contiguous and identical."""
+        if end <= start:
+            return
+        if self.segments:
+            last = self.segments[-1]
+            if (
+                last.end == start
+                and last.task_name == task_name
+                and last.high_mode == high
+            ):
+                self.segments[-1] = TraceSegment(last.start, end, task_name, high)
+                return
+        self.segments.append(TraceSegment(start, end, task_name, high))
+
+    # -- queries -----------------------------------------------------------
+    def busy_time(self) -> int:
+        """Total non-idle time."""
+        return sum(s.length for s in self.segments if s.task_name is not None)
+
+    def execution_time_of(self, task_name: str) -> int:
+        """Total time ``task_name`` executed."""
+        return sum(s.length for s in self.segments if s.task_name == task_name)
+
+    def segments_of(self, task_name: str) -> list[TraceSegment]:
+        """All segments of one task, in time order."""
+        return [s for s in self.segments if s.task_name == task_name]
+
+    def hi_mode_time(self) -> int:
+        """Total time spent in HI mode (busy or idle)."""
+        return sum(s.length for s in self.segments if s.high_mode)
+
+    def task_at(self, instant: int) -> str | None:
+        """The task executing at ``instant`` (None when idle/uncovered)."""
+        for s in self.segments:
+            if s.start <= instant < s.end:
+                return s.task_name
+        return None
+
+    # -- rendering -------------------------------------------------------------
+    def as_ascii(self, width: int = 72) -> str:
+        """A crude text gantt: one lane per task, ``#`` LO / ``!`` HI."""
+        if not self.segments:
+            return "(empty trace)"
+        horizon = self.segments[-1].end
+        scale = max(1, -(-horizon // width))  # ceil division
+        names = sorted(
+            {s.task_name for s in self.segments if s.task_name is not None}
+        )
+        name_width = max((len(n) for n in names), default=4)
+        lines = []
+        for name in names:
+            lane = [" "] * -(-horizon // scale)
+            for s in self.segments_of(name):
+                for cell in range(s.start // scale, -(-s.end // scale)):
+                    if cell < len(lane):
+                        lane[cell] = "!" if s.high_mode else "#"
+            lines.append(f"{name.rjust(name_width)} |{''.join(lane)}|")
+        lines.append(
+            f"{' ' * name_width} 0{' ' * (len(lane) - len(str(horizon)))}{horizon}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""Event-driven preemptive uniprocessor MC simulation engine.
+
+Time is integer.  The engine stops at every *scheduling-relevant* instant —
+job release, job completion, LO-budget exhaustion (potential mode switch)
+and the earliest deadline among incomplete ready jobs (for exact miss
+detection) — and runs the policy's highest-priority ready job in between.
+
+Mode automaton (for mode-aware policies):
+
+* LO → HI at the first instant an HC job has executed ``C_L`` time units
+  without completing; LC jobs are abandoned and LC releases suppressed when
+  the policy drops LC work;
+* HI → LO at the next idle instant (the standard AMC/EDF-VD reset rule),
+  after which LC releases resume.
+
+Deadline misses are classified at the instant the deadline passes:
+an HC miss is always an MC violation; an LC miss is a violation only if the
+processor was still in LO mode at that instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model import MCTask, TaskSet
+from repro.sim.policies import SchedulingPolicy
+from repro.sim.scenario import Scenario
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["MissRecord", "SimResult", "UniprocessorSim"]
+
+
+@dataclass
+class _Job:
+    task: MCTask
+    index: int
+    release: int
+    deadline: int
+    exec_time: int
+    executed: int = 0
+    missed: bool = False
+
+    @property
+    def remaining(self) -> int:
+        return self.exec_time - self.executed
+
+    @property
+    def complete(self) -> bool:
+        return self.executed >= self.exec_time
+
+
+@dataclass(frozen=True)
+class MissRecord:
+    """One deadline miss, with the context needed to classify it."""
+
+    task_name: str
+    criticality_high: bool
+    job_index: int
+    release: int
+    deadline: int
+    high_mode_at_miss: bool
+
+    @property
+    def is_violation(self) -> bool:
+        """True when the miss violates MC-correctness."""
+        return self.criticality_high or not self.high_mode_at_miss
+
+
+@dataclass
+class SimResult:
+    """Aggregate outcome of one simulation run."""
+
+    policy_name: str
+    scenario_name: str
+    horizon: int
+    misses: list[MissRecord] = field(default_factory=list)
+    mode_switches: list[int] = field(default_factory=list)
+    idle_resets: int = 0
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    lc_jobs_dropped: int = 0
+    lc_releases_suppressed: int = 0
+    preemptions: int = 0
+    trace: ExecutionTrace | None = None  #: populated when record_trace=True
+
+    @property
+    def mc_violations(self) -> list[MissRecord]:
+        """Misses that violate MC-correctness (HC always, LC in LO mode)."""
+        return [m for m in self.misses if m.is_violation]
+
+    @property
+    def mc_correct(self) -> bool:
+        """True when the run exhibited no MC violation."""
+        return not self.mc_violations
+
+
+class UniprocessorSim:
+    """Simulates one core running ``taskset`` under ``policy``."""
+
+    def __init__(self, taskset: TaskSet, policy: SchedulingPolicy):
+        if not taskset.is_constrained_deadline:
+            raise ValueError("simulator requires constrained deadlines")
+        self.taskset = taskset
+        self.policy = policy
+
+    def run(
+        self, scenario: Scenario, horizon: int, record_trace: bool = False
+    ) -> SimResult:
+        """Simulate ``[0, horizon)`` and return the result record.
+
+        ``record_trace`` attaches an :class:`ExecutionTrace` to the result
+        (who ran when, in which mode) at some memory cost.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        policy = self.policy
+        result = SimResult(policy.name, scenario.describe(), horizon)
+        if record_trace:
+            result.trace = ExecutionTrace()
+        next_release = {t.task_id: scenario.phase(t) for t in self.taskset}
+        job_counter = {t.task_id: 0 for t in self.taskset}
+        ready: list[_Job] = []
+        high_mode = False
+        time = 0
+        last_running: _Job | None = None
+
+        def release_due(now: int) -> None:
+            nonlocal last_running
+            for task in self.taskset:
+                while next_release[task.task_id] <= now:
+                    rel = next_release[task.task_id]
+                    next_release[task.task_id] = rel + task.period
+                    if (
+                        high_mode
+                        and policy.drops_lc_on_switch
+                        and not task.is_high
+                    ):
+                        result.lc_releases_suppressed += 1
+                        continue
+                    idx = job_counter[task.task_id]
+                    job_counter[task.task_id] += 1
+                    exec_time = scenario.execution_time(task, idx)
+                    limit = task.wcet_hi if task.is_high else task.wcet_lo
+                    if not 1 <= exec_time <= limit:
+                        raise ValueError(
+                            f"scenario returned execution time {exec_time} for "
+                            f"{task.name} job {idx}, outside [1, {limit}]"
+                        )
+                    ready.append(
+                        _Job(task, idx, rel, rel + task.deadline, exec_time)
+                    )
+                    result.jobs_released += 1
+
+        def record_misses(now: int) -> None:
+            for job in ready:
+                if not job.missed and not job.complete and job.deadline <= now:
+                    job.missed = True
+                    result.misses.append(
+                        MissRecord(
+                            job.task.name,
+                            job.task.is_high,
+                            job.index,
+                            job.release,
+                            job.deadline,
+                            high_mode,
+                        )
+                    )
+
+        def switch_to_high(now: int) -> None:
+            nonlocal high_mode
+            high_mode = True
+            result.mode_switches.append(now)
+            if policy.drops_lc_on_switch:
+                dropped = [j for j in ready if not j.task.is_high]
+                result.lc_jobs_dropped += len(dropped)
+                ready[:] = [j for j in ready if j.task.is_high]
+
+        # Simulation window is [0, horizon): releases at the horizon instant
+        # itself are excluded (such a job could not execute anyway).
+        while time < horizon:
+            release_due(time)
+            record_misses(time)
+
+            if not ready:
+                if high_mode and policy.mode_aware:
+                    # Idle instant: reset to LO; LC releases resume.
+                    high_mode = False
+                    result.idle_resets += 1
+                upcoming = [r for r in next_release.values() if r > time]
+                if not upcoming:
+                    break
+                time = min(upcoming)
+                last_running = None
+                continue
+
+            job = min(
+                ready,
+                key=lambda j: policy.priority_key(j.task, j.release, high_mode),
+            )
+            if last_running is not None and last_running is not job:
+                if not last_running.complete and last_running in ready:
+                    result.preemptions += 1
+            last_running = job
+
+            # Next instant anything can change.
+            stops = [min(next_release.values()), time + job.remaining]
+            if (
+                policy.mode_aware
+                and not high_mode
+                and job.task.is_high
+                and job.exec_time > job.task.wcet_lo
+                and job.executed < job.task.wcet_lo
+            ):
+                stops.append(time + (job.task.wcet_lo - job.executed))
+            future_deadlines = [
+                j.deadline
+                for j in ready
+                if not j.missed and not j.complete and j.deadline > time
+            ]
+            if future_deadlines:
+                stops.append(min(future_deadlines))
+            next_time = min(min(stops), horizon + 1)
+            if next_time <= time:
+                next_time = time + 1  # safety: always make progress
+
+            if result.trace is not None:
+                result.trace.record(
+                    time, min(next_time, horizon), job.task.name, high_mode
+                )
+            job.executed += next_time - time
+            time = next_time
+
+            if job.complete:
+                ready.remove(job)
+                result.jobs_completed += 1
+                last_running = None
+            elif (
+                policy.mode_aware
+                and not high_mode
+                and job.task.is_high
+                and job.executed == job.task.wcet_lo
+                and job.exec_time > job.task.wcet_lo
+            ):
+                switch_to_high(time)
+
+        record_misses(min(time, horizon))
+        return result

@@ -1,0 +1,108 @@
+"""Cross-validation of analyses against simulation.
+
+The central integration check of this reproduction: every task set a
+schedulability test *accepts* must survive adversarial simulation with zero
+MC violations.  (The converse does not hold — all tests are sufficient-only,
+so rejected sets may still simulate cleanly.)
+
+:func:`policy_for` maps a test + its :class:`AnalysisResult` to the runtime
+policy the test certifies; :func:`validate_against_simulation` runs the
+standard scenario battery (nominal, every-single-task overrun, all-tasks
+overrun, randomized) and reports any violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import TaskSet
+from repro.analysis.interface import AnalysisResult, SchedulabilityTest
+from repro.sim.policies import AMCPolicy, EDFPolicy, EDFVDPolicy, SchedulingPolicy
+from repro.sim.scenario import (
+    FixedOverrunScenario,
+    NominalScenario,
+    RandomScenario,
+    Scenario,
+)
+from repro.sim.uniprocessor import MissRecord, UniprocessorSim
+
+__all__ = ["policy_for", "standard_scenarios", "validate_against_simulation"]
+
+#: Default simulation horizon for validation runs; large enough to cover
+#: several hyperperiod fragments of [10, 500] periods without making the
+#: property-test suite crawl.
+DEFAULT_HORIZON = 20_000
+
+
+def policy_for(
+    test: SchedulabilityTest,
+    analysis: AnalysisResult,
+) -> SchedulingPolicy:
+    """The runtime policy certified by ``test``'s analysis outcome."""
+    name = test.name
+    if name.startswith("edf-vd"):
+        return EDFVDPolicy(scaling_factor=analysis.scaling_factor)
+    if name in ("ey", "ecdf"):
+        return EDFVDPolicy(virtual_deadlines=analysis.virtual_deadlines)
+    if name.startswith("amc"):
+        return AMCPolicy(analysis.priorities)
+    if name.startswith("edf"):
+        return EDFPolicy()
+    raise ValueError(f"no runtime policy known for test {name!r}")
+
+
+def standard_scenarios(
+    taskset: TaskSet, rng: np.random.Generator, random_runs: int = 3
+) -> list[Scenario]:
+    """The adversarial battery used by validation.
+
+    * nominal (never switches);
+    * each HC task overruns alone, on every job (worst sustained pressure
+      from one trigger);
+    * all HC tasks overrun on every job (maximal HI load, immediate switch);
+    * each HC task overruns alone starting from a later job, so the switch
+      happens mid-hyperperiod;
+    * ``random_runs`` randomized scenarios (random phases, 30% overruns).
+    """
+    scenarios: list[Scenario] = [NominalScenario()]
+    for task in taskset.high_tasks:
+        scenarios.append(FixedOverrunScenario({task.task_id}))
+        scenarios.append(FixedOverrunScenario({task.task_id}, overrun_job_index=2))
+    if taskset.high_tasks:
+        scenarios.append(FixedOverrunScenario(None))
+    for run in range(random_runs):
+        scenarios.append(
+            RandomScenario(
+                np.random.default_rng(rng.integers(2**63)),
+                overrun_prob=0.3,
+                random_phases=run % 2 == 1,
+            )
+        )
+    return scenarios
+
+
+def validate_against_simulation(
+    taskset: TaskSet,
+    test: SchedulabilityTest,
+    rng: np.random.Generator,
+    horizon: int = DEFAULT_HORIZON,
+    random_runs: int = 3,
+) -> list[tuple[str, MissRecord]]:
+    """Simulate an *accepted* task set under the certified policy.
+
+    Returns all MC violations as ``(scenario_label, miss)`` pairs — an empty
+    list is the expected outcome.  Raises ``ValueError`` when the test
+    rejects ``taskset`` (callers should only validate accepted sets).
+    """
+    analysis = test.analyze(taskset)
+    if not analysis.schedulable:
+        raise ValueError("validate_against_simulation requires an accepted task set")
+    policy = policy_for(test, analysis)
+    violations: list[tuple[str, MissRecord]] = []
+    sim = UniprocessorSim(taskset, policy)
+    for scenario in standard_scenarios(taskset, rng, random_runs):
+        result = sim.run(scenario, horizon)
+        violations.extend(
+            (scenario.describe(), miss) for miss in result.mc_violations
+        )
+    return violations

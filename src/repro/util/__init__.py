@@ -1,0 +1,26 @@
+"""Shared utilities: integer math, ASCII tables, RNG handling.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from here without creating cycles.
+"""
+
+from repro.util.intmath import (
+    ceil_div,
+    floor_div,
+    hyperperiod,
+    is_integral,
+    lcm_all,
+)
+from repro.util.rng import derive_rng, spawn_seed
+from repro.util.tables import format_table
+
+__all__ = [
+    "ceil_div",
+    "floor_div",
+    "hyperperiod",
+    "is_integral",
+    "lcm_all",
+    "derive_rng",
+    "spawn_seed",
+    "format_table",
+]

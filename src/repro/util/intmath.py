@@ -1,0 +1,56 @@
+"""Integer arithmetic helpers used by the schedulability analyses.
+
+All response-time and demand-bound computations in :mod:`repro.analysis` use
+an integer time model (periods, execution times and deadlines are integers),
+which keeps fixed-point iterations exact.  The helpers here centralise the
+common ceiling/floor division and hyperperiod computations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["ceil_div", "floor_div", "lcm_all", "hyperperiod", "is_integral"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for integers without float round-off.
+
+    ``b`` must be positive.  ``a`` may be negative, in which case the result
+    is the mathematical ceiling (e.g. ``ceil_div(-1, 2) == 0``).
+    """
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -((-a) // b)
+
+
+def floor_div(a: int, b: int) -> int:
+    """Return ``floor(a / b)`` for integers; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"floor_div divisor must be positive, got {b}")
+    return a // b
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """Least common multiple of all ``values`` (each must be positive)."""
+    result = 1
+    seen_any = False
+    for value in values:
+        seen_any = True
+        if value <= 0:
+            raise ValueError(f"lcm_all requires positive integers, got {value}")
+        result = math.lcm(result, value)
+    if not seen_any:
+        raise ValueError("lcm_all requires at least one value")
+    return result
+
+
+def hyperperiod(periods: Iterable[int]) -> int:
+    """Hyperperiod (LCM of periods) of a task set."""
+    return lcm_all(periods)
+
+
+def is_integral(value: float, tol: float = 1e-9) -> bool:
+    """True when ``value`` is within ``tol`` of an integer."""
+    return abs(value - round(value)) <= tol

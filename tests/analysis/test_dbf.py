@@ -1,0 +1,169 @@
+"""Unit tests for repro.analysis.dbf."""
+
+import pytest
+
+from repro.analysis.dbf import (
+    DemandScenario,
+    HorizonExceeded,
+    hi_mode_dbf,
+    sporadic_dbf,
+)
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestSporadicDbf:
+    def test_before_first_deadline(self):
+        assert sporadic_dbf(3, 10, 20, 9) == 0
+
+    def test_at_first_deadline(self):
+        assert sporadic_dbf(3, 10, 20, 10) == 3
+
+    def test_counts_full_jobs_only(self):
+        # deadlines at 10, 30, 50 for (C=3, D=10, T=20)
+        assert sporadic_dbf(3, 10, 20, 29) == 3
+        assert sporadic_dbf(3, 10, 20, 30) == 6
+        assert sporadic_dbf(3, 10, 20, 50) == 9
+
+    def test_implicit_deadline(self):
+        assert sporadic_dbf(5, 20, 20, 40) == 10
+
+
+class TestHiModeDbf:
+    def test_lc_contributes_nothing(self):
+        assert hi_mode_dbf(lc_task(20, 5), 20, 100) == 0
+
+    def test_before_residual_deadline(self):
+        task = hc_task(20, 4, 8)
+        # Dv = 12 -> residual D - Dv = 8
+        assert hi_mode_dbf(task, 12, 7) == 0
+
+    def test_carry_over_reduction_at_residual(self):
+        task = hc_task(20, 4, 8)
+        # at l = residual: one job, full reduction C_L
+        assert hi_mode_dbf(task, 12, 8) == 8 - 4
+
+    def test_ramp_then_plateau(self):
+        task = hc_task(20, 4, 8)
+        # residual 8; at l=9 residue 1 -> reduction 3; at l=12 residue 4 -> 0
+        assert hi_mode_dbf(task, 12, 9) == 8 - 3
+        assert hi_mode_dbf(task, 12, 12) == 8
+        assert hi_mode_dbf(task, 12, 20) == 8
+
+    def test_second_job(self):
+        task = hc_task(20, 4, 8)
+        # residual 8: jumps at 8, 28, ...
+        assert hi_mode_dbf(task, 12, 28) == 16 - 4
+        assert hi_mode_dbf(task, 12, 32) == 16
+
+    def test_full_virtual_deadline_gives_immediate_demand(self):
+        task = hc_task(20, 4, 8)
+        # Dv = D: residual 0, carry-over due immediately with C_H - C_L
+        assert hi_mode_dbf(task, 20, 0) == 4
+
+
+class TestDemandScenarioLO:
+    def test_trivial_set_passes(self, simple_mixed_taskset):
+        assert DemandScenario(simple_mixed_taskset).lo_violation() is None
+
+    def test_overloaded_set_fails(self, heavy_taskset):
+        # LO utilization == 1.0 exactly here; build a worse one
+        ts = TaskSet(
+            [lc_task(10, 6, name="a"), lc_task(10, 6, name="b")]
+        )
+        violation = DemandScenario(ts).lo_violation()
+        assert violation is not None
+
+    def test_virtual_deadline_increases_lo_demand(self):
+        task = hc_task(100, 40, 60)
+        background = lc_task(10, 5)
+        loose = DemandScenario(TaskSet([task, background]))
+        tight = DemandScenario(
+            TaskSet([task, background]), {task.task_id: 41}
+        )
+        assert loose.lo_violation() is None
+        # With Dv=41 the HC demand of 40 plus four background jobs exceed
+        # the l=41 window.
+        assert tight.lo_violation() == 41
+
+    def test_invalid_virtual_deadline_rejected(self):
+        task = hc_task(100, 40, 60)
+        with pytest.raises(ValueError, match="virtual deadline"):
+            DemandScenario(TaskSet([task]), {task.task_id: 20})
+        with pytest.raises(ValueError, match="virtual deadline"):
+            DemandScenario(TaskSet([task]), {task.task_id: 101})
+
+    def test_demand_at_matches_manual_sum(self):
+        a = hc_task(20, 4, 8, name="a")
+        b = lc_task(30, 6, name="b")
+        scenario = DemandScenario(TaskSet([a, b]), {a.task_id: 10})
+        # At l=40: a contributes floor((40-10)/20)+1 = 2 jobs of 4;
+        # b contributes floor((40-30)/30)+1 = 1 job of 6.
+        assert scenario.lo_demand_at(40) == 2 * 4 + 6
+
+
+class TestDemandScenarioHI:
+    def test_no_hc_tasks_vacuously_passes(self):
+        ts = TaskSet([lc_task(10, 9, name="busy")])
+        assert DemandScenario(ts).hi_violation() is None
+
+    def test_full_deadlines_fail_when_gap_large(self):
+        # Dv = D leaves the carry-over C_H - C_L due at l = 0.
+        task = hc_task(100, 10, 60)
+        scenario = DemandScenario(TaskSet([task]))
+        assert scenario.hi_violation() == 0
+
+    def test_shrinking_vd_fixes_hi(self):
+        task = hc_task(100, 10, 60)
+        scenario = DemandScenario(TaskSet([task]), {task.task_id: 40})
+        assert scenario.hi_violation() is None
+
+    def test_hi_utilization_above_one_fails(self):
+        a = hc_task(10, 3, 6, name="a")
+        b = hc_task(10, 3, 6, name="b")
+        scenario = DemandScenario(TaskSet([a, b]), {a.task_id: 5, b.task_id: 5})
+        assert scenario.hi_violation() is not None
+
+    def test_refinement_never_increases_demand(self):
+        a = hc_task(20, 4, 8, name="a")
+        b = hc_task(30, 5, 12, name="b")
+        scenario = DemandScenario(
+            TaskSet([a, b]), {a.task_id: 10, b.task_id: 15}
+        )
+        for length in range(0, 120, 3):
+            assert scenario.hi_demand_at(length, refine=True) <= (
+                scenario.hi_demand_at(length, refine=False)
+            )
+
+    def test_refined_verdict_at_least_as_permissive(self):
+        a = hc_task(20, 4, 8, name="a")
+        b = hc_task(30, 5, 12, name="b")
+        scenario = DemandScenario(
+            TaskSet([a, b]), {a.task_id: 10, b.task_id: 15}
+        )
+        if scenario.hi_violation(refine=False) is None:
+            assert scenario.hi_violation(refine=True) is None
+
+
+class TestHorizon:
+    @staticmethod
+    def _near_saturated() -> DemandScenario:
+        # U_LO = 0.98 with shortened virtual deadlines: the classical bound
+        # sum(u*(T-d))/(1-U) is ~12400, far above the tiny cap.
+        ts = TaskSet(
+            [
+                hc_task(500, 245, 250, name="a"),
+                hc_task(500, 245, 250, name="b"),
+            ]
+        )
+        return DemandScenario(
+            ts, {t.task_id: 246 for t in ts}, horizon_cap=10
+        )
+
+    def test_small_cap_raises(self):
+        with pytest.raises(HorizonExceeded):
+            self._near_saturated().lo_violation()
+
+    def test_schedulable_wrapper_conservative_on_cap(self):
+        assert self._near_saturated().schedulable() is False

@@ -1,0 +1,70 @@
+"""Unit tests for repro.analysis.edf."""
+
+import pytest
+
+from repro.analysis.edf import (
+    EDFTest,
+    edf_demand_schedulable,
+    edf_utilization_schedulable,
+)
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestUtilizationTest:
+    def test_below_one(self):
+        assert edf_utilization_schedulable(0.99)
+
+    def test_exactly_one(self):
+        assert edf_utilization_schedulable(1.0)
+
+    def test_above_one(self):
+        assert not edf_utilization_schedulable(1.01)
+
+
+class TestDemandCriterion:
+    def test_schedulable_constrained_set(self):
+        ts = TaskSet(
+            [lc_task(10, 2, deadline=5, name="a"), lc_task(20, 4, deadline=15, name="b")]
+        )
+        assert edf_demand_schedulable(ts, use_hi_wcet=False)
+
+    def test_unschedulable_tight_deadlines(self):
+        ts = TaskSet(
+            [lc_task(10, 4, deadline=4, name="a"), lc_task(10, 4, deadline=5, name="b")]
+        )
+        assert not edf_demand_schedulable(ts, use_hi_wcet=False)
+
+    def test_hi_budget_toggle_matters(self):
+        ts = TaskSet(
+            [hc_task(10, 2, 6, deadline=8, name="h"), lc_task(10, 4, deadline=9, name="l")]
+        )
+        assert edf_demand_schedulable(ts, use_hi_wcet=False)
+        assert not edf_demand_schedulable(ts, use_hi_wcet=True)
+
+
+class TestEDFTestClass:
+    def test_reservation_mode_uses_hi_budgets(self):
+        # U_LO = 0.6 but U with C_H = 1.2: reservation rejects, lo accepts.
+        ts = TaskSet([hc_task(10, 3, 9, name="h"), lc_task(10, 3, name="l")])
+        assert not EDFTest("reservation").is_schedulable(ts)
+        assert EDFTest("lo").is_schedulable(ts)
+
+    def test_constrained_routes_to_demand_criterion(self):
+        ts = TaskSet([lc_task(10, 3, deadline=6, name="a")])
+        assert EDFTest("lo").is_schedulable(ts)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EDFTest("bogus")
+
+    def test_names(self):
+        assert EDFTest("lo").name == "edf-lo"
+        assert EDFTest().name == "edf-reservation"
+
+    def test_analyze_detail_mentions_utilization(self):
+        ts = TaskSet([lc_task(10, 5, name="a")])
+        result = EDFTest("lo").analyze(ts)
+        assert result.schedulable
+        assert "U=" in result.detail

@@ -1,0 +1,98 @@
+"""Unit tests for repro.analysis.edf_vd (the paper's Section III test)."""
+
+import pytest
+
+from repro.analysis.edf_vd import EDFVDTest, edfvd_admits, edfvd_scaling_factor
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestAdmissionFunction:
+    def test_plain_edf_region(self):
+        # a + c <= 1 always admits.
+        assert edfvd_admits(0.4, 0.3, 0.6)
+
+    def test_section3_inequality(self):
+        # a=0.45, b=0.10, c=0.50: a <= (1-c)/(1-(c-b)) = 0.5/0.6 = 0.833.
+        assert edfvd_admits(0.45, 0.10, 0.50)
+
+    def test_section3_inequality_fails(self):
+        # a=0.45, b=0.78, c=0.90: bound (0.1)/(0.88) ~ 0.114 < 0.45.
+        assert not edfvd_admits(0.45, 0.78, 0.90)
+
+    def test_lo_mode_bound(self):
+        # a + b > 1 cannot be LO-schedulable even though c small.
+        assert not edfvd_admits(0.6, 0.5, 0.55)
+
+    def test_hi_utilization_above_one(self):
+        assert not edfvd_admits(0.0, 0.5, 1.05)
+
+    def test_hc_only_core_needs_b_and_c_below_one(self):
+        assert edfvd_admits(0.0, 0.9, 1.0)
+        assert not edfvd_admits(0.0, 0.99, 1.05)
+
+    def test_model_invariant_b_above_c_rejected(self):
+        with pytest.raises(ValueError, match="U_LH"):
+            edfvd_admits(0.0, 1.1, 1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            edfvd_admits(-0.1, 0.1, 0.2)
+
+    def test_boundary_sum_exactly_one(self):
+        assert edfvd_admits(0.5, 0.2, 0.5)  # a + c == 1
+
+    def test_paper_figure1_cores(self):
+        """The Figure 1 example from examples/paper_examples.py."""
+        # CA-Wu-F's cores reject the 0.45 LC task:
+        assert not edfvd_admits(0.45, 0.55, 0.60)
+        assert not edfvd_admits(0.45, 0.35, 0.80)
+        # CA-UDP's tau2 core accepts it:
+        assert edfvd_admits(0.45, 0.10, 0.50)
+
+
+class TestScalingFactor:
+    def test_plain_edf_gives_one(self):
+        ts = TaskSet([hc_task(100, 20, 40, name="h"), lc_task(100, 30, name="l")])
+        assert edfvd_scaling_factor(ts) == 1.0
+
+    def test_scaled_region_formula(self):
+        # a=0.3, b=0.4, c=0.8: needs x = b/(1-a) = 0.5714...
+        ts = TaskSet([hc_task(100, 40, 80, name="h"), lc_task(100, 30, name="l")])
+        x = edfvd_scaling_factor(ts)
+        assert x == pytest.approx(0.4 / 0.7)
+
+    def test_rejected_set_raises(self):
+        ts = TaskSet([hc_task(100, 78, 90, name="h"), lc_task(100, 45, name="l")])
+        with pytest.raises(ValueError, match="no valid scaling factor"):
+            edfvd_scaling_factor(ts)
+
+    def test_lc_only_core(self):
+        ts = TaskSet([lc_task(10, 5, name="l")])
+        assert edfvd_scaling_factor(ts) == 1.0
+
+
+class TestEDFVDTestClass:
+    def test_accepts_simple_set(self, simple_mixed_taskset):
+        result = EDFVDTest().analyze(simple_mixed_taskset)
+        assert result.schedulable
+        assert 0 < result.scaling_factor <= 1.0
+
+    def test_rejects_overloaded_set(self, heavy_taskset):
+        result = EDFVDTest().analyze(heavy_taskset)
+        assert not result.schedulable
+        assert "fails EDF-VD" in result.detail
+
+    def test_constrained_deadline_rejected(self):
+        ts = TaskSet([hc_task(100, 10, 20, deadline=50)])
+        assert not EDFVDTest().supports(ts)
+        with pytest.raises(ValueError, match="implicit"):
+            EDFVDTest().analyze(ts)
+
+    def test_monotone_in_added_load(self):
+        """Adding a task never turns a rejected set into an accepted one."""
+        base = TaskSet([hc_task(100, 70, 95, name="h"), lc_task(100, 40, name="l")])
+        extended = base.with_task(lc_task(100, 20, name="extra"))
+        if not EDFVDTest().is_schedulable(base):
+            assert not EDFVDTest().is_schedulable(extended)

@@ -1,0 +1,45 @@
+"""Unit tests for the test registry and AnalysisResult."""
+
+import pytest
+
+from repro.analysis import get_test, registered_tests
+from repro.analysis.interface import AnalysisResult
+
+
+class TestRegistry:
+    def test_all_expected_tests_registered(self):
+        names = registered_tests()
+        for expected in (
+            "edf-vd",
+            "ey",
+            "ecdf",
+            "amc-rtb",
+            "amc-max",
+            "amc-rtb-opa",
+            "amc-max-opa",
+            "edf-reservation",
+            "edf-lo",
+        ):
+            assert expected in names
+
+    def test_get_test_instantiates_fresh(self):
+        a, b = get_test("ecdf"), get_test("ecdf")
+        assert a is not b
+        assert a.name == "ecdf"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known tests"):
+            get_test("magic")
+
+
+class TestAnalysisResult:
+    def test_truthiness(self):
+        assert AnalysisResult(True)
+        assert not AnalysisResult(False)
+
+    def test_defaults(self):
+        result = AnalysisResult(True)
+        assert result.virtual_deadlines == {}
+        assert result.priorities == {}
+        assert result.scaling_factor == 1.0
+        assert result.detail == ""

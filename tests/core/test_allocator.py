@@ -1,0 +1,110 @@
+"""Unit tests for the generic partitioned-allocation engine."""
+
+import pytest
+
+from repro.analysis import EDFVDTest
+from repro.core import PartitionResult, ProcessorState, partition
+from repro.core.strategies import first_fit
+from repro.core.allocator import PartitioningStrategy
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+def trivial_strategy() -> PartitioningStrategy:
+    return PartitioningStrategy(
+        name="trivial",
+        order=lambda ts: list(ts),
+        hc_fit=first_fit,
+        lc_fit=first_fit,
+    )
+
+
+class TestProcessorState:
+    def test_accumulates_utilizations(self):
+        state = ProcessorState(0)
+        state.add(hc_task(100, 20, 50))
+        state.add(lc_task(100, 30))
+        assert state.u_lh == pytest.approx(0.2)
+        assert state.u_hh == pytest.approx(0.5)
+        assert state.u_ll == pytest.approx(0.3)
+        assert state.utilization_difference == pytest.approx(0.3)
+        assert state.utilization_lo == pytest.approx(0.5)
+
+    def test_taskset_caches_and_refreshes(self):
+        state = ProcessorState(1)
+        empty = state.taskset()
+        assert len(empty) == 0
+        task = lc_task(10, 1)
+        state.add(task)
+        assert list(state.taskset()) == [task]
+
+
+class TestPartition:
+    def test_success_covers_every_task(self, simple_mixed_taskset):
+        result = partition(simple_mixed_taskset, 2, EDFVDTest(), trivial_strategy())
+        assert result.success
+        placed = [t for core in result.cores for t in core]
+        assert {t.task_id for t in placed} == {
+            t.task_id for t in simple_mixed_taskset
+        }
+        assert set(result.assignment) == {t.task_id for t in simple_mixed_taskset}
+
+    def test_every_core_passes_the_test(self, simple_mixed_taskset):
+        test = EDFVDTest()
+        result = partition(simple_mixed_taskset, 2, test, trivial_strategy())
+        for core in result.cores:
+            assert len(core) == 0 or test.is_schedulable(core)
+
+    def test_failure_reports_task_and_partial_state(self):
+        # Two heavy HC tasks + one more heavy HC task than 2 cores can take.
+        ts = TaskSet(
+            [
+                hc_task(100, 10, 90, name="a"),
+                hc_task(100, 10, 90, name="b"),
+                hc_task(100, 10, 90, name="c"),
+            ]
+        )
+        result = partition(ts, 2, EDFVDTest(), trivial_strategy())
+        assert not result.success
+        assert result.failed_task is not None and result.failed_task.name == "c"
+        assert len(result.assignment) == 2
+
+    def test_core_of(self, simple_mixed_taskset):
+        result = partition(simple_mixed_taskset, 2, EDFVDTest(), trivial_strategy())
+        for task in simple_mixed_taskset:
+            core_idx = result.core_of(task)
+            assert task in result.cores[core_idx]
+
+    def test_invalid_m(self, simple_mixed_taskset):
+        with pytest.raises(ValueError):
+            partition(simple_mixed_taskset, 0, EDFVDTest(), trivial_strategy())
+
+    def test_result_truthiness_and_describe(self, simple_mixed_taskset):
+        result = partition(simple_mixed_taskset, 2, EDFVDTest(), trivial_strategy())
+        assert bool(result) is result.success
+        text = result.describe()
+        assert "trivial" in text and "edf-vd" in text
+
+    def test_empty_taskset(self):
+        result = partition(TaskSet(), 3, EDFVDTest(), trivial_strategy())
+        assert result.success
+        assert all(len(core) == 0 for core in result.cores)
+
+    def test_single_core_equals_uniprocessor_test(self, simple_mixed_taskset):
+        test = EDFVDTest()
+        result = partition(simple_mixed_taskset, 1, test, trivial_strategy())
+        assert result.success == test.is_schedulable(simple_mixed_taskset)
+
+
+class TestPartitionResultDataclass:
+    def test_core_of_unassigned_raises(self):
+        result = PartitionResult(
+            success=False,
+            strategy_name="s",
+            test_name="t",
+            m=1,
+            cores=(TaskSet(),),
+        )
+        with pytest.raises(KeyError):
+            result.core_of(lc_task(10, 1))

@@ -1,0 +1,106 @@
+"""Unit tests for the baseline partitioning strategies."""
+
+from repro.analysis import EDFVDTest
+from repro.core import (
+    bfd,
+    ca_f_f,
+    ca_nosort_f_f,
+    eca_wu_f,
+    ffd,
+    partition,
+    wfd,
+)
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestCANosortFF:
+    def test_preserves_input_order_within_classes(self):
+        ts = TaskSet(
+            [
+                lc_task(100, 10, name="l1"),
+                hc_task(100, 5, 10, name="h1"),
+                hc_task(100, 30, 60, name="h2"),
+                lc_task(100, 40, name="l2"),
+            ]
+        )
+        names = [t.name for t in ca_nosort_f_f().order(ts)]
+        assert names == ["h1", "h2", "l1", "l2"]
+
+    def test_first_fit_stacks_core_zero(self):
+        ts = TaskSet(
+            [hc_task(100, 5, 10, name=f"h{i}") for i in range(4)]
+        )
+        result = partition(ts, 2, EDFVDTest(), ca_nosort_f_f())
+        assert result.success
+        assert len(result.cores[0]) == 4
+        assert len(result.cores[1]) == 0
+
+
+class TestCAFF:
+    def test_sorted_within_classes(self):
+        ts = TaskSet(
+            [
+                hc_task(100, 5, 10, name="small"),
+                hc_task(100, 30, 60, name="big"),
+                lc_task(100, 10, name="lsmall"),
+                lc_task(100, 40, name="lbig"),
+            ]
+        )
+        names = [t.name for t in ca_f_f().order(ts)]
+        assert names == ["big", "small", "lbig", "lsmall"]
+
+
+class TestECAWuF:
+    def test_heavy_lc_placed_before_hc(self):
+        ts = TaskSet(
+            [
+                hc_task(100, 30, 70, name="h"),
+                lc_task(100, 60, name="heavy-lc"),
+                lc_task(100, 10, name="light-lc"),
+            ]
+        )
+        names = [t.name for t in eca_wu_f().order(ts)]
+        assert names == ["heavy-lc", "h", "light-lc"]
+
+    def test_threshold_configurable(self):
+        ts = TaskSet(
+            [hc_task(100, 30, 70, name="h"), lc_task(100, 60, name="lc")]
+        )
+        names = [t.name for t in eca_wu_f(threshold=0.7).order(ts)]
+        assert names == ["h", "lc"]
+
+    def test_can_beat_plain_worst_fit_on_heavy_lc(self):
+        """The motivating case for the enhancement (Gu et al.): without the
+        heavy-LC preference, worst-fit spreads the HC tasks over both cores
+        and the heavy LC task no longer fits anywhere; with it, the LC task
+        grabs a clean core first."""
+        from repro.core import ca_wu_f
+
+        ts = TaskSet(
+            [
+                hc_task(100, 20, 50, name="h1"),
+                hc_task(100, 20, 50, name="h2"),
+                lc_task(100, 90, name="monster"),
+            ]
+        )
+        assert not partition(ts, 2, EDFVDTest(), ca_wu_f()).success
+        assert partition(ts, 2, EDFVDTest(), eca_wu_f()).success
+
+
+class TestClassicalStrategies:
+    def test_ffd_wfd_bfd_all_place_easy_sets(self, simple_mixed_taskset):
+        for strategy in (ffd(), wfd(), bfd()):
+            result = partition(simple_mixed_taskset, 2, EDFVDTest(), strategy)
+            assert result.success, strategy.name
+
+    def test_wfd_spreads_bfd_packs(self):
+        ts = TaskSet([lc_task(100, 30, name=f"l{i}") for i in range(4)])
+        test = EDFVDTest()
+        spread = partition(ts, 2, test, wfd())
+        packed = partition(ts, 2, test, bfd())
+        assert [len(c) for c in spread.cores] == [2, 2]
+        # Best-fit packs until the EDF bound (three tasks at U=0.9), then
+        # spills the fourth.
+        assert [len(c) for c in packed.cores] == [3, 1]

@@ -1,0 +1,77 @@
+"""Property-based tests for partitioning invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import EDFVDTest
+from repro.core import get_strategy, partition, registered_strategies
+from repro.model import Criticality, MCTask, TaskSet
+
+
+@st.composite
+def implicit_tasks(draw):
+    period = draw(st.integers(min_value=10, max_value=200))
+    high = draw(st.booleans())
+    wcet_lo = draw(st.integers(min_value=1, max_value=period // 2))
+    wcet_hi = (
+        draw(st.integers(min_value=wcet_lo, max_value=period)) if high else wcet_lo
+    )
+    return MCTask(
+        period=period,
+        criticality=Criticality.HC if high else Criticality.LC,
+        wcet_lo=wcet_lo,
+        wcet_hi=wcet_hi,
+    )
+
+
+@st.composite
+def strategy_names(draw):
+    return draw(st.sampled_from(registered_strategies()))
+
+
+@given(
+    st.lists(implicit_tasks(), min_size=1, max_size=10),
+    strategy_names(),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_partition_invariants(tasks, strategy_name, m):
+    """No task lost or duplicated; accepted cores pass the test; failure
+    names a task from the input."""
+    taskset = TaskSet(tasks)
+    test = EDFVDTest()
+    result = partition(taskset, m, test, get_strategy(strategy_name))
+
+    placed_ids = [t.task_id for core in result.cores for t in core]
+    assert len(placed_ids) == len(set(placed_ids))  # no duplication
+    input_ids = {t.task_id for t in taskset}
+    assert set(placed_ids) <= input_ids
+
+    for core in result.cores:
+        if len(core):
+            assert test.is_schedulable(core)
+
+    if result.success:
+        assert set(placed_ids) == input_ids
+        assert set(result.assignment) == input_ids
+    else:
+        assert result.failed_task is not None
+        assert result.failed_task.task_id in input_ids
+        assert result.failed_task.task_id not in placed_ids
+
+
+@given(st.lists(implicit_tasks(), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_more_cores_never_hurt_udp(tasks):
+    """CU-UDP success is monotone in m on these workloads.
+
+    Not a theorem for arbitrary strategies, but worst-fit spreading cannot
+    lose admissible placements when cores are added while first-fit LC
+    placement ignores the extra cores unless needed — a useful regression
+    property for the engine.
+    """
+    taskset = TaskSet(tasks)
+    test = EDFVDTest()
+    small = partition(taskset, 2, test, get_strategy("cu-udp"))
+    big = partition(taskset, 4, test, get_strategy("cu-udp"))
+    if small.success:
+        assert big.success

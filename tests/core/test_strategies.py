@@ -1,0 +1,130 @@
+"""Unit tests for ordering rules, fit rules and the strategy registry."""
+
+import pytest
+
+from repro.core import ProcessorState, get_strategy, registered_strategies
+from repro.core.strategies import (
+    best_fit_by,
+    first_fit,
+    order_criticality_aware,
+    order_criticality_aware_nosort,
+    order_criticality_unaware,
+    order_heavy_lc_first,
+    udp_fit,
+    worst_fit_by,
+)
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+@pytest.fixture
+def mixed() -> TaskSet:
+    return TaskSet(
+        [
+            lc_task(100, 60, name="lc-heavy"),
+            hc_task(100, 10, 30, name="hc-light"),
+            lc_task(100, 20, name="lc-light"),
+            hc_task(100, 40, 80, name="hc-heavy"),
+        ]
+    )
+
+
+class TestOrders:
+    def test_criticality_aware(self, mixed):
+        names = [t.name for t in order_criticality_aware(mixed)]
+        assert names == ["hc-heavy", "hc-light", "lc-heavy", "lc-light"]
+
+    def test_criticality_aware_nosort(self, mixed):
+        names = [t.name for t in order_criticality_aware_nosort(mixed)]
+        assert names == ["hc-light", "hc-heavy", "lc-heavy", "lc-light"]
+
+    def test_criticality_unaware(self, mixed):
+        # Own-level utilizations: hc-heavy 0.8, lc-heavy 0.6, hc-light 0.3,
+        # lc-light 0.2.
+        names = [t.name for t in order_criticality_unaware(mixed)]
+        assert names == ["hc-heavy", "lc-heavy", "hc-light", "lc-light"]
+
+    def test_heavy_lc_first(self, mixed):
+        names = [t.name for t in order_heavy_lc_first(0.5)(mixed)]
+        assert names == ["lc-heavy", "hc-heavy", "hc-light", "lc-light"]
+
+    def test_heavy_lc_threshold_excludes(self, mixed):
+        names = [t.name for t in order_heavy_lc_first(0.7)(mixed)]
+        # No LC task reaches 0.7: plain criticality-aware order.
+        assert names == ["hc-heavy", "hc-light", "lc-heavy", "lc-light"]
+
+    def test_orders_are_permutations(self, mixed):
+        for order in (
+            order_criticality_aware,
+            order_criticality_aware_nosort,
+            order_criticality_unaware,
+            order_heavy_lc_first(0.5),
+        ):
+            assert sorted(t.task_id for t in order(mixed)) == sorted(
+                t.task_id for t in mixed
+            )
+
+
+class TestFits:
+    @staticmethod
+    def _states(*diff_pairs):
+        """Processor states with given (U_LH, U_HH) pairs."""
+        states = []
+        for idx, (u_lh, u_hh) in enumerate(diff_pairs):
+            state = ProcessorState(idx)
+            if u_hh:
+                scale = 1000
+                state.add(
+                    hc_task(scale, int(u_lh * scale), int(u_hh * scale))
+                )
+            states.append(state)
+        return states
+
+    def test_first_fit_ignores_state(self):
+        states = self._states((0.1, 0.5), (0.0, 0.0), (0.2, 0.3))
+        assert first_fit(states) == [0, 1, 2]
+
+    def test_udp_fit_orders_by_difference(self):
+        states = self._states((0.1, 0.5), (0.0, 0.0), (0.1, 0.2))
+        # differences: 0.4, 0.0, 0.1 -> order 1, 2, 0
+        assert udp_fit(states) == [1, 2, 0]
+
+    def test_worst_fit_by_hh(self):
+        states = self._states((0.1, 0.5), (0.0, 0.0), (0.1, 0.2))
+        fit = worst_fit_by(lambda p: p.u_hh)
+        assert fit(states) == [1, 2, 0]
+
+    def test_best_fit_reverses_worst_fit(self):
+        states = self._states((0.1, 0.5), (0.0, 0.0), (0.1, 0.2))
+        fit = best_fit_by(lambda p: p.u_hh)
+        assert fit(states) == [0, 2, 1]
+
+    def test_ties_broken_by_index(self):
+        states = self._states((0.0, 0.0), (0.0, 0.0))
+        assert udp_fit(states) == [0, 1]
+
+
+class TestRegistry:
+    def test_all_paper_strategies_registered(self):
+        names = registered_strategies()
+        for expected in (
+            "ca-udp",
+            "cu-udp",
+            "ca-wu-f",
+            "ca-nosort-f-f",
+            "ca-f-f",
+            "eca-wu-f",
+            "ffd",
+            "wfd",
+            "bfd",
+        ):
+            assert expected in names
+
+    def test_get_strategy(self):
+        strategy = get_strategy("ca-udp")
+        assert strategy.name == "ca-udp"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError, match="known"):
+            get_strategy("quantum-fit")

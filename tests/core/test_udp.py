@@ -1,0 +1,82 @@
+"""Unit tests for the UDP strategies (Algorithm 1 of the paper)."""
+
+from repro.analysis import EDFVDTest
+from repro.core import ca_udp, cu_udp, partition
+from repro.model import TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestCAUDP:
+    def test_order_is_criticality_aware(self):
+        strategy = ca_udp()
+        ts = TaskSet(
+            [
+                lc_task(100, 90, name="lc-big"),
+                hc_task(100, 5, 10, name="hc-small"),
+            ]
+        )
+        names = [t.name for t in strategy.order(ts)]
+        assert names == ["hc-small", "lc-big"]
+
+    def test_hc_spread_balances_difference(self):
+        """Four identical HC tasks land two per core with equal differences."""
+        ts = TaskSet(
+            [hc_task(100, 10, 40, name=f"h{i}") for i in range(4)]
+        )
+        result = partition(ts, 2, EDFVDTest(), ca_udp())
+        assert result.success
+        diffs = [core.utilization.difference for core in result.cores]
+        assert abs(diffs[0] - diffs[1]) < 1e-9
+        assert all(len(core) == 2 for core in result.cores)
+
+    def test_lc_first_fit_packs_first_core(self):
+        ts = TaskSet(
+            [
+                hc_task(100, 10, 20, name="h"),
+                lc_task(100, 30, name="l1"),
+                lc_task(100, 30, name="l2"),
+            ]
+        )
+        result = partition(ts, 2, EDFVDTest(), ca_udp())
+        assert result.success
+        # Both LC tasks fit on core 0 (first-fit), regardless of balance.
+        assert result.core_of(ts[1]) == 0
+        assert result.core_of(ts[2]) == 0
+
+
+class TestCUUDP:
+    def test_order_is_criticality_unaware(self):
+        strategy = cu_udp()
+        ts = TaskSet(
+            [
+                lc_task(100, 90, name="lc-big"),
+                hc_task(100, 5, 10, name="hc-small"),
+            ]
+        )
+        names = [t.name for t in strategy.order(ts)]
+        assert names == ["lc-big", "hc-small"]
+
+    def test_same_fit_rules_as_ca_udp(self):
+        assert cu_udp().hc_fit is ca_udp().hc_fit
+        assert type(cu_udp().lc_fit) is type(ca_udp().lc_fit)
+
+    def test_accepts_superset_on_heavy_lc_batch(self):
+        """CU-UDP should succeed at least as often as CA-UDP when heavy LC
+        tasks are present (the paper's Section IV observation)."""
+        from repro.generator import MCTaskSetGenerator
+        from repro.util import derive_rng
+
+        rng = derive_rng("cu-vs-ca")
+        gen = MCTaskSetGenerator(m=2, p_high=0.3)
+        test = EDFVDTest()
+        ca_wins = cu_wins = 0
+        for _ in range(60):
+            ts = gen.generate(rng, 0.55, 0.3, 0.55)
+            if ts is None:
+                continue
+            ca_ok = partition(ts, 2, test, ca_udp()).success
+            cu_ok = partition(ts, 2, test, cu_udp()).success
+            ca_wins += ca_ok and not cu_ok
+            cu_wins += cu_ok and not ca_ok
+        assert cu_wins >= ca_wins

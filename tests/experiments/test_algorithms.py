@@ -1,0 +1,50 @@
+"""Unit tests for the partitioned-algorithm registry."""
+
+import pytest
+
+from repro.experiments import get_algorithm, registered_algorithms
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        names = registered_algorithms()
+        for expected in (
+            "ca-udp-edf-vd",
+            "cu-udp-edf-vd",
+            "ca-nosort-f-f-edf-vd",
+            "cu-udp-ecdf",
+            "cu-udp-amc",
+            "eca-wu-f-ey",
+            "ca-f-f-ey",
+        ):
+            assert expected in names
+
+    def test_wiring_matches_name(self):
+        algo = get_algorithm("cu-udp-ecdf")
+        assert algo.strategy.name == "cu-udp"
+        assert algo.test.name == "ecdf"
+
+    def test_amc_default_is_amc_max_dm(self):
+        algo = get_algorithm("cu-udp-amc")
+        assert algo.test.name == "amc-max"
+        assert algo.test.priority_policy == "dm"
+
+    def test_opa_variant(self):
+        algo = get_algorithm("cu-udp-amc-opa")
+        assert algo.test.priority_policy == "opa"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            get_algorithm("fancy-new-algo")
+
+
+class TestAlgorithmExecution:
+    def test_accepts_easy_set(self, simple_mixed_taskset):
+        algo = get_algorithm("cu-udp-edf-vd")
+        assert algo.accepts(simple_mixed_taskset, m=2)
+
+    def test_partition_returns_result(self, simple_mixed_taskset):
+        algo = get_algorithm("ca-udp-edf-vd")
+        result = algo.partition(simple_mixed_taskset, m=2)
+        assert result.success
+        assert result.strategy_name == "ca-udp"

@@ -1,0 +1,127 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def taskset_file(tmp_path):
+    path = tmp_path / "ts.json"
+    code = main(
+        [
+            "generate",
+            "--m",
+            "1",
+            "--uhh",
+            "0.5",
+            "--ulh",
+            "0.25",
+            "--ull",
+            "0.3",
+            "--seed",
+            "cli-test",
+            "-o",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, taskset_file):
+        rows = json.loads(taskset_file.read_text())
+        assert isinstance(rows, list) and rows
+        assert {"period", "criticality", "wcet_lo", "wcet_hi"} <= set(rows[0])
+
+    def test_stdout_mode(self, capsys):
+        code = main(
+            [
+                "generate", "--m", "1",
+                "--uhh", "0.4", "--ulh", "0.2", "--ull", "0.2",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+
+    def test_infeasible_targets_exit_1(self, capsys):
+        # m*U_HH = 7.92 cannot be carved into <= 4 HC tasks of u <= 0.99.
+        code = main(
+            [
+                "generate", "--m", "8",
+                "--uhh", "0.99", "--ulh", "0.5", "--ull", "0.3",
+                "--nmin", "8", "--nmax", "8",
+            ]
+        )
+        assert code == 1
+
+    def test_count_range_respected(self, capsys):
+        code = main(
+            [
+                "generate", "--m", "1",
+                "--uhh", "0.4", "--ulh", "0.2", "--ull", "0.2",
+                "--nmin", "4", "--nmax", "4",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+
+
+class TestCheck:
+    def test_schedulable_exit_0(self, taskset_file, capsys):
+        code = main(["check", str(taskset_file), "--test", "ecdf"])
+        assert code == 0
+        assert "SCHEDULABLE" in capsys.readouterr().out
+
+    def test_all_tests_run(self, taskset_file):
+        for test in ("edf-vd", "ey", "amc-max", "amc-rtb", "edf-lo"):
+            code = main(["check", str(taskset_file), "--test", test])
+            assert code in (0, 2)
+
+
+class TestPartition:
+    def test_partition_success(self, taskset_file, capsys):
+        code = main(
+            [
+                "partition", str(taskset_file),
+                "--m", "2", "--strategy", "cu-udp", "--test", "edf-vd",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out and "cu-udp" in out
+
+
+class TestSimulate:
+    def test_validates_accepted_set(self, taskset_file, capsys):
+        code = main(
+            [
+                "simulate", str(taskset_file),
+                "--test", "ecdf", "--horizon", "3000",
+            ]
+        )
+        assert code == 0
+        assert "validated" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_tiny_figure_run(self, capsys):
+        code = main(["figure", "fig3", "--samples", "1", "--m", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cu-udp-edf-vd" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])

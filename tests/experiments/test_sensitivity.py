@@ -1,0 +1,53 @@
+"""Unit tests for the utilization-difference sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.algorithms import get_algorithm
+from repro.experiments.sensitivity import difference_sensitivity
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    algorithms = [
+        get_algorithm("cu-udp-edf-vd"),
+        get_algorithm("ca-nosort-f-f-edf-vd"),
+    ]
+    return difference_sensitivity(
+        algorithms,
+        m=2,
+        squeeze_ratios=(0.0, 0.5, 1.0),
+        samples=10,
+        label="test-sens",
+    )
+
+
+class TestDifferenceSensitivity:
+    def test_structure(self, small_result):
+        assert small_result.ratios == [0.0, 0.5, 1.0]
+        for curve in small_result.war.values():
+            assert len(curve) == 3
+            assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_heavier_lo_load_reduces_war(self, small_result):
+        """Squeezing raises LO-mode load, so WAR cannot improve with r."""
+        for curve in small_result.war.values():
+            assert curve[0] >= curve[-1] - 1e-9
+
+    def test_advantage_series(self, small_result):
+        gaps = small_result.advantage("cu-udp-edf-vd", "ca-nosort-f-f-edf-vd")
+        assert len(gaps) == 3
+
+    def test_render_contains_algorithms(self, small_result):
+        text = small_result.render()
+        assert "cu-udp-edf-vd" in text
+        assert "squeeze" in text
+
+    def test_deterministic(self):
+        algorithms = [get_algorithm("cu-udp-edf-vd")]
+        a = difference_sensitivity(
+            algorithms, m=2, squeeze_ratios=(0.0,), samples=5, label="d"
+        )
+        b = difference_sensitivity(
+            algorithms, m=2, squeeze_ratios=(0.0,), samples=5, label="d"
+        )
+        assert a.war == b.war

@@ -1,0 +1,34 @@
+"""Unit tests for the weighted acceptance ratio."""
+
+import pytest
+
+from repro.experiments import weighted_acceptance_ratio
+
+
+class TestWAR:
+    def test_paper_formula(self):
+        # WAR = sum(AR*UB)/sum(UB)
+        buckets = [0.5, 1.0]
+        ratios = [1.0, 0.4]
+        expected = (1.0 * 0.5 + 0.4 * 1.0) / 1.5
+        assert weighted_acceptance_ratio(buckets, ratios) == pytest.approx(expected)
+
+    def test_all_accepted_gives_one(self):
+        assert weighted_acceptance_ratio([0.2, 0.7], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_all_rejected_gives_zero(self):
+        assert weighted_acceptance_ratio([0.2, 0.7], [0.0, 0.0]) == 0.0
+
+    def test_heavier_buckets_dominate(self):
+        # Failing only the heavy bucket hurts more than failing the light one.
+        light_fail = weighted_acceptance_ratio([0.1, 0.9], [0.0, 1.0])
+        heavy_fail = weighted_acceptance_ratio([0.1, 0.9], [1.0, 0.0])
+        assert light_fail > heavy_fail
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            weighted_acceptance_ratio([0.1], [1.0, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_acceptance_ratio([], [])

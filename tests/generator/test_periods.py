@@ -1,0 +1,43 @@
+"""Unit tests for log-uniform period synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.generator.periods import log_uniform_periods
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestLogUniformPeriods:
+    def test_in_range_and_integer(self):
+        periods = log_uniform_periods(rng(), 500, 10, 500)
+        assert periods.dtype == np.int64
+        assert periods.min() >= 10
+        assert periods.max() <= 500
+
+    def test_log_uniform_shape(self):
+        """Median should sit near the geometric mean, far below the
+        arithmetic midpoint — the signature of log-uniform sampling."""
+        periods = log_uniform_periods(rng(3), 4000, 10, 500)
+        median = np.median(periods)
+        geometric_mean = np.sqrt(10 * 500)  # ~70.7
+        assert median < 120  # arithmetic midpoint would be 255
+        assert abs(median - geometric_mean) < 30
+
+    def test_zero_count(self):
+        assert len(log_uniform_periods(rng(), 0)) == 0
+
+    def test_endpoints_attainable(self):
+        periods = log_uniform_periods(rng(5), 20000, 10, 12)
+        assert set(np.unique(periods)) <= {10, 11, 12}
+        assert 10 in periods and 12 in periods
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng(), -1)
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng(), 5, 100, 10)
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng(), 5, 0, 10)

@@ -1,0 +1,37 @@
+"""Unit tests for repro.model.criticality."""
+
+import pytest
+
+from repro.model import Criticality
+
+
+class TestCriticality:
+    def test_ordering(self):
+        assert Criticality.LC < Criticality.HC
+
+    def test_is_high(self):
+        assert Criticality.HC.is_high
+        assert not Criticality.LC.is_high
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("HC", Criticality.HC),
+            ("hc", Criticality.HC),
+            ("LC", Criticality.LC),
+            ("lc", Criticality.LC),
+            (0, Criticality.LC),
+            (1, Criticality.HC),
+            (Criticality.HC, Criticality.HC),
+        ],
+    )
+    def test_parse(self, value, expected):
+        assert Criticality.parse(value) is expected
+
+    def test_parse_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown criticality"):
+            Criticality.parse("medium")
+
+    def test_parse_unknown_int(self):
+        with pytest.raises(ValueError):
+            Criticality.parse(7)

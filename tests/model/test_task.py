@@ -1,0 +1,134 @@
+"""Unit tests for repro.model.task."""
+
+import pytest
+
+from repro.model import Criticality, MCTask
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestConstruction:
+    def test_defaults_implicit_deadline(self):
+        task = hc_task(100, 10, 20)
+        assert task.deadline == 100
+        assert task.implicit_deadline
+
+    def test_explicit_deadline(self):
+        task = hc_task(100, 10, 20, deadline=60)
+        assert task.deadline == 60
+        assert not task.implicit_deadline
+        assert task.constrained_deadline
+
+    def test_auto_names_unique_and_prefixed(self):
+        a, b = hc_task(10, 1, 2), lc_task(10, 1)
+        assert a.name.startswith("hc")
+        assert b.name.startswith("lc")
+        assert a.name != b.name
+
+    def test_task_ids_unique(self):
+        a, b = hc_task(10, 1, 2), hc_task(10, 1, 2)
+        assert a.task_id != b.task_id
+
+    def test_criticality_string_coerced(self):
+        task = MCTask(period=10, criticality="hc", wcet_lo=1, wcet_hi=2)
+        assert task.criticality is Criticality.HC
+
+    def test_frozen(self):
+        task = hc_task(10, 1, 2)
+        with pytest.raises(AttributeError):
+            task.period = 20  # type: ignore[misc]
+
+
+class TestValidationInConstructor:
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            hc_task(0, 1, 1)
+
+    def test_nonpositive_wcet_rejected(self):
+        with pytest.raises(ValueError, match="wcet_lo"):
+            hc_task(10, 0, 1)
+
+    def test_wcet_hi_below_lo_rejected(self):
+        with pytest.raises(ValueError, match="wcet_hi"):
+            hc_task(10, 5, 3)
+
+    def test_lc_with_distinct_budgets_rejected(self):
+        with pytest.raises(ValueError, match="LC task"):
+            MCTask(period=10, criticality=Criticality.LC, wcet_lo=2, wcet_hi=3)
+
+    def test_float_fields_rejected(self):
+        with pytest.raises(TypeError, match="int"):
+            MCTask(period=10.0, criticality=Criticality.HC, wcet_lo=1, wcet_hi=2)  # type: ignore[arg-type]
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            hc_task(10, 1, 2, deadline=0)
+
+
+class TestUtilization:
+    def test_lo_hi(self):
+        task = hc_task(100, 10, 25)
+        assert task.utilization_lo == pytest.approx(0.10)
+        assert task.utilization_hi == pytest.approx(0.25)
+
+    def test_own_level_high(self):
+        assert hc_task(100, 10, 25).utilization_at_own_level == pytest.approx(0.25)
+
+    def test_own_level_low(self):
+        assert lc_task(100, 30).utilization_at_own_level == pytest.approx(0.30)
+
+    def test_difference(self):
+        assert hc_task(100, 10, 25).utilization_difference == pytest.approx(0.15)
+        assert lc_task(100, 30).utilization_difference == 0.0
+
+    def test_density_uses_min_deadline_period(self):
+        task = hc_task(100, 10, 40, deadline=50)
+        assert task.density_lo == pytest.approx(0.2)
+        assert task.density_hi == pytest.approx(0.8)
+
+
+class TestTransforms:
+    def test_with_deadline(self):
+        task = hc_task(100, 10, 20)
+        shorter = task.with_deadline(60)
+        assert shorter.deadline == 60
+        assert shorter.period == 100
+        assert task.deadline == 100  # original untouched
+
+    def test_scaled_halves_budgets(self):
+        task = hc_task(100, 10, 20)
+        fast = task.scaled(2.0)
+        assert fast.wcet_lo == 5
+        assert fast.wcet_hi == 10
+
+    def test_scaled_rounds_up(self):
+        task = hc_task(100, 3, 5)
+        fast = task.scaled(2.0)
+        assert fast.wcet_lo == 2  # ceil(1.5)
+        assert fast.wcet_hi == 3  # ceil(2.5)
+
+    def test_scaled_keeps_minimum_one(self):
+        task = lc_task(100, 1)
+        assert task.scaled(10.0).wcet_lo == 1
+
+    def test_scaled_invalid_speed(self):
+        with pytest.raises(ValueError):
+            hc_task(10, 1, 2).scaled(0.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        task = hc_task(120, 15, 33, deadline=90, name="roundtrip")
+        again = MCTask.from_dict(task.to_dict())
+        assert again.period == 120
+        assert again.criticality is Criticality.HC
+        assert again.wcet_lo == 15
+        assert again.wcet_hi == 33
+        assert again.deadline == 90
+        assert again.name == "roundtrip"
+
+    def test_from_dict_default_deadline(self):
+        again = MCTask.from_dict(
+            {"period": 50, "criticality": "LC", "wcet_lo": 5, "wcet_hi": 5}
+        )
+        assert again.deadline == 50

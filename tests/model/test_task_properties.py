@@ -1,0 +1,76 @@
+"""Property-based tests for the task model (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.model import Criticality, MCTask, TaskSet
+
+
+@st.composite
+def mc_tasks(draw) -> MCTask:
+    period = draw(st.integers(min_value=2, max_value=500))
+    high = draw(st.booleans())
+    wcet_lo = draw(st.integers(min_value=1, max_value=period))
+    if high:
+        wcet_hi = draw(st.integers(min_value=wcet_lo, max_value=period))
+    else:
+        wcet_hi = wcet_lo
+    deadline = draw(st.integers(min_value=max(wcet_hi, 1), max_value=period))
+    return MCTask(
+        period=period,
+        criticality=Criticality.HC if high else Criticality.LC,
+        wcet_lo=wcet_lo,
+        wcet_hi=wcet_hi,
+        deadline=deadline,
+    )
+
+
+@given(mc_tasks())
+def test_utilization_bounds(task):
+    assert 0 < task.utilization_lo <= 1
+    assert task.utilization_lo <= task.utilization_hi <= 1
+    assert task.utilization_difference >= 0
+
+
+@given(mc_tasks())
+def test_own_level_matches_criticality(task):
+    if task.is_high:
+        assert task.utilization_at_own_level == task.utilization_hi
+    else:
+        assert task.utilization_at_own_level == task.utilization_lo
+
+
+@given(mc_tasks())
+def test_density_at_least_utilization(task):
+    assert task.density_lo >= task.utilization_lo - 1e-12
+    assert task.density_hi >= task.utilization_hi - 1e-12
+
+
+@given(mc_tasks())
+def test_serialization_roundtrip(task):
+    again = MCTask.from_dict(task.to_dict())
+    assert (again.period, again.wcet_lo, again.wcet_hi, again.deadline) == (
+        task.period,
+        task.wcet_lo,
+        task.wcet_hi,
+        task.deadline,
+    )
+    assert again.criticality == task.criticality
+
+
+@given(mc_tasks(), st.floats(min_value=1.01, max_value=8.0))
+def test_scaling_reduces_and_preserves_model(task, speed):
+    scaled = task.scaled(speed)
+    assert scaled.wcet_lo <= task.wcet_lo
+    assert scaled.wcet_hi <= task.wcet_hi
+    assert scaled.wcet_lo <= scaled.wcet_hi
+    assert scaled.wcet_lo >= 1
+
+
+@given(st.lists(mc_tasks(), max_size=12))
+def test_taskset_aggregates_match_manual_sums(tasks):
+    ts = TaskSet(tasks)
+    util = ts.utilization
+    assert util.u_ll == sum(t.utilization_lo for t in tasks if not t.is_high)
+    assert util.u_lh == sum(t.utilization_lo for t in tasks if t.is_high)
+    assert util.u_hh == sum(t.utilization_hi for t in tasks if t.is_high)
+    assert len(ts.high_tasks) + len(ts.low_tasks) == len(ts)

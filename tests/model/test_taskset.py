@@ -1,0 +1,131 @@
+"""Unit tests for repro.model.taskset."""
+
+import pytest
+
+from repro.model import MCTask, TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+@pytest.fixture
+def mixed() -> TaskSet:
+    return TaskSet(
+        [
+            hc_task(100, 10, 30, name="h1"),
+            lc_task(50, 10, name="l1"),
+            hc_task(200, 40, 60, name="h2"),
+            lc_task(100, 20, name="l2"),
+        ]
+    )
+
+
+class TestSequenceProtocol:
+    def test_len_iter_index(self, mixed):
+        assert len(mixed) == 4
+        assert [t.name for t in mixed] == ["h1", "l1", "h2", "l2"]
+        assert mixed[0].name == "h1"
+
+    def test_slice_returns_taskset(self, mixed):
+        head = mixed[:2]
+        assert isinstance(head, TaskSet)
+        assert [t.name for t in head] == ["h1", "l1"]
+
+    def test_contains(self, mixed):
+        assert mixed[0] in mixed
+
+    def test_hash_and_eq(self, mixed):
+        clone = TaskSet(list(mixed))
+        assert clone == mixed
+        assert hash(clone) == hash(mixed)
+        assert clone != mixed[:2]
+
+    def test_duplicate_ids_rejected(self):
+        task = hc_task(10, 1, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([task, task])
+
+    def test_non_task_rejected(self):
+        with pytest.raises(TypeError):
+            TaskSet([42])  # type: ignore[list-item]
+
+
+class TestFunctionalUpdates:
+    def test_with_task(self, mixed):
+        extra = lc_task(10, 1, name="extra")
+        bigger = mixed.with_task(extra)
+        assert len(bigger) == 5
+        assert len(mixed) == 4
+
+    def test_without_task(self, mixed):
+        smaller = mixed.without_task(mixed[0])
+        assert len(smaller) == 3
+        assert all(t.name != "h1" for t in smaller)
+
+    def test_without_missing_raises(self, mixed):
+        with pytest.raises(KeyError):
+            mixed.without_task(lc_task(10, 1))
+
+    def test_sorted_by(self, mixed):
+        by_period = mixed.sorted_by(lambda t: t.period)
+        assert [t.period for t in by_period] == [50, 100, 100, 200]
+
+
+class TestCriticalityViews:
+    def test_split(self, mixed):
+        assert [t.name for t in mixed.high_tasks] == ["h1", "h2"]
+        assert [t.name for t in mixed.low_tasks] == ["l1", "l2"]
+
+    def test_of_criticality(self, mixed):
+        assert mixed.of_criticality("HC") == mixed.high_tasks
+        assert mixed.of_criticality("LC") == mixed.low_tasks
+
+
+class TestAggregates:
+    def test_utilization_sums(self, mixed):
+        util = mixed.utilization
+        assert util.u_ll == pytest.approx(10 / 50 + 20 / 100)
+        assert util.u_lh == pytest.approx(10 / 100 + 40 / 200)
+        assert util.u_hh == pytest.approx(30 / 100 + 60 / 200)
+
+    def test_derived_quantities(self, mixed):
+        util = mixed.utilization
+        assert util.u_lo == pytest.approx(util.u_ll + util.u_lh)
+        assert util.difference == pytest.approx(util.u_hh - util.u_lh)
+        assert util.bound == pytest.approx(max(util.u_lo, util.u_hh))
+
+    def test_normalized(self, mixed):
+        util = mixed.utilization
+        norm = util.normalized(2)
+        assert norm.u_hh == pytest.approx(util.u_hh / 2)
+
+    def test_normalized_invalid_m(self, mixed):
+        with pytest.raises(ValueError):
+            mixed.utilization.normalized(0)
+
+    def test_hyperperiod(self, mixed):
+        assert mixed.hyperperiod == 200
+
+    def test_empty_set_aggregates(self):
+        empty = TaskSet()
+        assert empty.utilization.bound == 0.0
+        assert empty.hyperperiod == 1
+        assert empty.max_deadline == 0
+
+    def test_deadline_classes(self, mixed):
+        assert mixed.is_implicit_deadline
+        constrained = mixed.with_task(hc_task(100, 5, 10, deadline=50))
+        assert not constrained.is_implicit_deadline
+        assert constrained.is_constrained_deadline
+
+
+class TestSerialization:
+    def test_roundtrip(self, mixed):
+        again = TaskSet.from_dicts(mixed.to_dicts())
+        assert [t.name for t in again] == [t.name for t in mixed]
+        assert again.utilization.u_hh == pytest.approx(mixed.utilization.u_hh)
+
+    def test_describe_mentions_everything(self, mixed):
+        text = mixed.describe()
+        assert "4 tasks" in text
+        for task in mixed:
+            assert task.name in text

@@ -1,0 +1,100 @@
+"""Unit tests for task-set transformations."""
+
+import numpy as np
+import pytest
+
+from repro.model import TaskSet
+from repro.model.transforms import (
+    inflate_hi_budgets,
+    squeeze_difference,
+    with_constrained_deadlines,
+    with_implicit_deadlines,
+)
+
+from tests.conftest import hc_task, lc_task
+
+
+@pytest.fixture
+def mixed() -> TaskSet:
+    return TaskSet(
+        [
+            hc_task(100, 20, 50, deadline=80, name="h1"),
+            hc_task(200, 40, 40, name="h2"),
+            lc_task(50, 10, deadline=30, name="l1"),
+        ]
+    )
+
+
+class TestDeadlineTransforms:
+    def test_implicit_resets_all(self, mixed):
+        implicit = with_implicit_deadlines(mixed)
+        assert implicit.is_implicit_deadline
+        assert [t.period for t in implicit] == [t.period for t in mixed]
+
+    def test_constrained_draws_within_model(self, mixed):
+        constrained = with_constrained_deadlines(
+            mixed, np.random.default_rng(0)
+        )
+        for task in constrained:
+            assert task.wcet_hi <= task.deadline <= task.period
+
+    def test_constrained_deterministic_per_seed(self, mixed):
+        a = with_constrained_deadlines(mixed, np.random.default_rng(7))
+        b = with_constrained_deadlines(mixed, np.random.default_rng(7))
+        assert [t.deadline for t in a] == [t.deadline for t in b]
+
+
+class TestInflateHiBudgets:
+    def test_scales_hc_only(self, mixed):
+        inflated = inflate_hi_budgets(mixed, 1.5)
+        by_name = {t.name: t for t in inflated}
+        assert by_name["h1"].wcet_hi == 75
+        assert by_name["l1"].wcet_hi == 10  # LC untouched
+
+    def test_caps_at_deadline(self, mixed):
+        inflated = inflate_hi_budgets(mixed, 10.0)
+        by_name = {t.name: t for t in inflated}
+        assert by_name["h1"].wcet_hi == 80  # min(D=80, T=100)
+
+    def test_factor_one_is_identity(self, mixed):
+        same = inflate_hi_budgets(mixed, 1.0)
+        assert [t.wcet_hi for t in same] == [t.wcet_hi for t in mixed]
+
+    def test_invalid_factor(self, mixed):
+        with pytest.raises(ValueError):
+            inflate_hi_budgets(mixed, 0.5)
+
+
+class TestSqueezeDifference:
+    def test_zero_is_identity(self, mixed):
+        same = squeeze_difference(mixed, 0.0)
+        assert [t.wcet_lo for t in same] == [t.wcet_lo for t in mixed]
+
+    def test_one_erases_difference(self, mixed):
+        flat = squeeze_difference(mixed, 1.0)
+        for task in flat.high_tasks:
+            assert task.wcet_lo == task.wcet_hi
+            assert task.utilization_difference == 0.0
+
+    def test_half_interpolates(self, mixed):
+        half = squeeze_difference(mixed, 0.5)
+        h1 = next(t for t in half if t.name == "h1")
+        assert h1.wcet_lo == 35  # 20 + 0.5*30
+
+    def test_monotone_in_ratio(self, mixed):
+        previous = -1.0
+        for ratio in (0.0, 0.3, 0.6, 1.0):
+            squeezed = squeeze_difference(mixed, ratio)
+            diff = squeezed.utilization.difference
+            if previous >= 0:
+                assert diff <= previous + 1e-12
+            previous = diff
+
+    def test_lc_untouched(self, mixed):
+        flat = squeeze_difference(mixed, 1.0)
+        l1 = next(t for t in flat if t.name == "l1")
+        assert l1.wcet_lo == 10
+
+    def test_invalid_ratio(self, mixed):
+        with pytest.raises(ValueError):
+            squeeze_difference(mixed, 1.5)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.model.validation."""
+
+import pytest
+
+from repro.model import (
+    MCTask,
+    TaskModelError,
+    TaskSet,
+    validate_task,
+    validate_taskset,
+)
+from repro.model.criticality import Criticality
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestValidateTask:
+    def test_valid_task_passes(self):
+        validate_task(hc_task(100, 10, 20, deadline=60))
+
+    def test_hc_wcet_hi_above_period_rejected(self):
+        task = MCTask(period=10, criticality=Criticality.HC, wcet_lo=5, wcet_hi=12, deadline=10)
+        with pytest.raises(TaskModelError, match="exceeds period"):
+            validate_task(task)
+
+    def test_wcet_above_deadline_rejected(self):
+        task = hc_task(100, 30, 40, deadline=20)
+        with pytest.raises(TaskModelError, match="deadline"):
+            validate_task(task)
+
+    def test_hi_wcet_above_deadline_rejected(self):
+        task = hc_task(100, 10, 60, deadline=30)
+        with pytest.raises(TaskModelError, match="HI-mode deadline"):
+            validate_task(task)
+
+    def test_arbitrary_deadline_rejected_by_default(self):
+        task = hc_task(100, 10, 20, deadline=150)
+        with pytest.raises(TaskModelError, match="constrained"):
+            validate_task(task)
+
+    def test_arbitrary_deadline_allowed_when_relaxed(self):
+        task = hc_task(100, 10, 20, deadline=150)
+        validate_task(task, require_constrained=False)
+
+
+class TestValidateTaskset:
+    def test_valid_set_passes(self, simple_mixed_taskset):
+        validate_taskset(simple_mixed_taskset)
+
+    def test_duplicate_names_rejected(self):
+        ts = TaskSet([hc_task(10, 1, 2, name="dup"), lc_task(10, 1, name="dup")])
+        with pytest.raises(TaskModelError, match="unique"):
+            validate_taskset(ts)
+
+    def test_dual_criticality_requirement(self):
+        only_high = TaskSet([hc_task(10, 1, 2)])
+        with pytest.raises(TaskModelError, match="no LC"):
+            validate_taskset(only_high, require_dual_criticality=True)
+        only_low = TaskSet([lc_task(10, 1)])
+        with pytest.raises(TaskModelError, match="no HC"):
+            validate_taskset(only_low, require_dual_criticality=True)
+
+    def test_single_criticality_ok_by_default(self):
+        validate_taskset(TaskSet([hc_task(10, 1, 2)]))

@@ -1,0 +1,66 @@
+"""Unit tests for partitioned (multi-core) simulation."""
+
+from repro.model import TaskSet
+from repro.sim import (
+    EDFVDPolicy,
+    FixedOverrunScenario,
+    NominalScenario,
+    PartitionedSim,
+)
+
+from tests.conftest import hc_task, lc_task
+
+
+def _two_cores():
+    core0 = TaskSet([hc_task(20, 4, 10, name="h0"), lc_task(10, 2, name="l0")])
+    core1 = TaskSet([hc_task(25, 5, 12, name="h1"), lc_task(10, 3, name="l1")])
+    return [core0, core1]
+
+
+class TestPartitionedSim:
+    def test_nominal_all_cores_quiet(self):
+        sim = PartitionedSim(_two_cores(), lambda core: EDFVDPolicy(1.0))
+        outcome = sim.run(lambda idx: NominalScenario(), 200)
+        assert outcome.mc_correct
+        assert outcome.cores_switched == []
+
+    def test_isolation_of_mode_switch(self):
+        cores = _two_cores()
+        overruner = cores[0][0]
+        sim = PartitionedSim(cores, lambda core: EDFVDPolicy(1.0))
+        outcome = sim.run(
+            lambda idx: FixedOverrunScenario({overruner.task_id}), 400
+        )
+        assert outcome.cores_switched == [0]
+        assert outcome.per_core[1].mode_switches == []
+        assert outcome.per_core[1].lc_jobs_dropped == 0
+        assert outcome.mc_correct
+
+    def test_violations_tagged_with_core(self):
+        # Overloaded core 1 (two fat LC tasks).
+        bad = TaskSet([lc_task(10, 7, name="x"), lc_task(10, 7, name="y")])
+        sim = PartitionedSim(
+            [_two_cores()[0], bad], lambda core: EDFVDPolicy(1.0)
+        )
+        outcome = sim.run(lambda idx: NominalScenario(), 100)
+        assert not outcome.mc_correct
+        assert {core for core, _ in outcome.mc_violations} == {1}
+
+    def test_empty_core_handled(self):
+        sim = PartitionedSim(
+            [TaskSet(), _two_cores()[0]], lambda core: EDFVDPolicy(1.0)
+        )
+        outcome = sim.run(lambda idx: NominalScenario(), 100)
+        assert outcome.mc_correct
+        assert outcome.per_core[0].jobs_released == 0
+
+    def test_per_core_scenarios(self):
+        cores = _two_cores()
+        sim = PartitionedSim(cores, lambda core: EDFVDPolicy(1.0))
+        outcome = sim.run(
+            lambda idx: FixedOverrunScenario(None)
+            if idx == 1
+            else NominalScenario(),
+            300,
+        )
+        assert outcome.cores_switched == [1]

@@ -1,0 +1,79 @@
+"""Unit tests for simulator scheduling policies."""
+
+import pytest
+
+from repro.sim import AMCPolicy, EDFPolicy, EDFVDPolicy
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestEDFPolicy:
+    def test_orders_by_absolute_deadline(self):
+        policy = EDFPolicy()
+        early = lc_task(100, 1, deadline=50)
+        late = lc_task(100, 1, deadline=80)
+        assert policy.priority_key(early, 0, False) < policy.priority_key(
+            late, 0, False
+        )
+
+    def test_not_mode_aware(self):
+        assert not EDFPolicy.mode_aware
+        assert not EDFPolicy.drops_lc_on_switch
+
+
+class TestEDFVDPolicy:
+    def test_scaling_shrinks_hc_deadline_in_lo(self):
+        policy = EDFVDPolicy(scaling_factor=0.5)
+        h = hc_task(100, 10, 30)
+        l = lc_task(100, 10)
+        key_h = policy.priority_key(h, 0, False)
+        key_l = policy.priority_key(l, 0, False)
+        assert key_h < key_l  # 50 < 100
+
+    def test_hi_mode_uses_real_deadlines(self):
+        policy = EDFVDPolicy(scaling_factor=0.5)
+        h = hc_task(100, 10, 30)
+        assert policy.priority_key(h, 0, True)[0] == pytest.approx(100.0)
+
+    def test_explicit_virtual_deadline_map(self):
+        h = hc_task(100, 10, 30)
+        policy = EDFVDPolicy(virtual_deadlines={h.task_id: 40})
+        assert policy.priority_key(h, 10, False)[0] == pytest.approx(50.0)
+
+    def test_lc_unaffected_by_scaling(self):
+        policy = EDFVDPolicy(scaling_factor=0.3)
+        l = lc_task(100, 10)
+        assert policy.priority_key(l, 0, False)[0] == pytest.approx(100.0)
+
+    def test_invalid_scaling_factor(self):
+        with pytest.raises(ValueError):
+            EDFVDPolicy(scaling_factor=0.0)
+        with pytest.raises(ValueError):
+            EDFVDPolicy(scaling_factor=1.5)
+
+    def test_drops_lc(self):
+        assert EDFVDPolicy(1.0).drops_lc_on_switch
+
+
+class TestAMCPolicy:
+    def test_fixed_priority_ordering(self):
+        a, b = hc_task(10, 1, 2), lc_task(20, 1)
+        policy = AMCPolicy({a.task_id: 1, b.task_id: 0})
+        assert policy.priority_key(b, 0, False) < policy.priority_key(a, 0, False)
+
+    def test_priority_constant_across_modes(self):
+        a = hc_task(10, 1, 2)
+        policy = AMCPolicy({a.task_id: 0})
+        assert policy.priority_key(a, 0, False)[0] == policy.priority_key(
+            a, 0, True
+        )[0]
+
+    def test_missing_task_raises(self):
+        a, b = hc_task(10, 1, 2), lc_task(20, 1)
+        policy = AMCPolicy({a.task_id: 0})
+        with pytest.raises(KeyError, match="missing from priority map"):
+            policy.priority_key(b, 0, False)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            AMCPolicy({})

@@ -1,0 +1,81 @@
+"""Unit tests for simulator scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.sim import FixedOverrunScenario, NominalScenario, RandomScenario
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestNominal:
+    def test_everything_runs_lo_budget(self):
+        scenario = NominalScenario()
+        h, l = hc_task(100, 10, 30), lc_task(50, 5)
+        for idx in range(5):
+            assert scenario.execution_time(h, idx) == 10
+            assert scenario.execution_time(l, idx) == 5
+
+    def test_synchronous_phases(self):
+        assert NominalScenario().phase(hc_task(100, 1, 2)) == 0
+
+
+class TestFixedOverrun:
+    def test_all_hc_overrun(self):
+        scenario = FixedOverrunScenario(None)
+        h = hc_task(100, 10, 30)
+        assert scenario.execution_time(h, 0) == 30
+        assert scenario.execution_time(lc_task(50, 5), 0) == 5
+
+    def test_selected_tasks_only(self):
+        a, b = hc_task(100, 10, 30, name="a"), hc_task(100, 10, 30, name="b")
+        scenario = FixedOverrunScenario({a.task_id})
+        assert scenario.execution_time(a, 0) == 30
+        assert scenario.execution_time(b, 0) == 10
+
+    def test_single_job_overrun(self):
+        h = hc_task(100, 10, 30)
+        scenario = FixedOverrunScenario({h.task_id}, overrun_job_index=2)
+        assert scenario.execution_time(h, 0) == 10
+        assert scenario.execution_time(h, 2) == 30
+        assert scenario.execution_time(h, 3) == 10
+
+    def test_describe_varies(self):
+        assert "all-HC" in FixedOverrunScenario(None).describe()
+        assert "job 2" in FixedOverrunScenario(None, 2).describe()
+
+
+class TestRandomScenario:
+    def test_bounds_respected(self):
+        scenario = RandomScenario(np.random.default_rng(0), overrun_prob=0.5)
+        h, l = hc_task(100, 10, 30), lc_task(50, 5)
+        for idx in range(50):
+            assert 1 <= scenario.execution_time(h, idx) <= 30
+            assert 1 <= scenario.execution_time(l, idx) <= 5
+
+    def test_memoized_per_job(self):
+        scenario = RandomScenario(np.random.default_rng(1))
+        h = hc_task(100, 10, 30)
+        assert scenario.execution_time(h, 3) == scenario.execution_time(h, 3)
+
+    def test_overruns_happen_at_high_probability(self):
+        scenario = RandomScenario(np.random.default_rng(2), overrun_prob=1.0)
+        h = hc_task(100, 10, 30)
+        draws = [scenario.execution_time(h, i) for i in range(20)]
+        assert all(d > 10 for d in draws)
+
+    def test_zero_probability_never_overruns(self):
+        scenario = RandomScenario(np.random.default_rng(3), overrun_prob=0.0)
+        h = hc_task(100, 10, 30)
+        assert all(scenario.execution_time(h, i) <= 10 for i in range(20))
+
+    def test_random_phases_within_period(self):
+        scenario = RandomScenario(np.random.default_rng(4), random_phases=True)
+        h = hc_task(100, 10, 30)
+        phase = scenario.phase(h)
+        assert 0 <= phase < 100
+        assert scenario.phase(h) == phase  # stable per task
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomScenario(np.random.default_rng(), overrun_prob=1.5)

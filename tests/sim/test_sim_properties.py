@@ -1,0 +1,116 @@
+"""Property-based tests of simulator invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.model import Criticality, MCTask, TaskSet
+from repro.sim import (
+    AMCPolicy,
+    EDFPolicy,
+    EDFVDPolicy,
+    RandomScenario,
+    UniprocessorSim,
+)
+from repro.analysis.fixed_priority import deadline_monotonic_order, priority_map
+
+HORIZON = 2_000
+
+
+@st.composite
+def small_tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for _ in range(n):
+        period = draw(st.integers(min_value=5, max_value=100))
+        high = draw(st.booleans())
+        wcet_lo = draw(st.integers(min_value=1, max_value=max(1, period // 3)))
+        wcet_hi = (
+            draw(st.integers(min_value=wcet_lo, max_value=max(wcet_lo, period // 2)))
+            if high
+            else wcet_lo
+        )
+        deadline = draw(st.integers(min_value=wcet_hi, max_value=period))
+        tasks.append(
+            MCTask(
+                period=period,
+                criticality=Criticality.HC if high else Criticality.LC,
+                wcet_lo=wcet_lo,
+                wcet_hi=wcet_hi,
+                deadline=deadline,
+            )
+        )
+    return TaskSet(tasks)
+
+
+def _policies_for(taskset):
+    policies = [EDFPolicy(), EDFVDPolicy(scaling_factor=0.8)]
+    order = deadline_monotonic_order(taskset)
+    policies.append(AMCPolicy(priority_map(order)))
+    return policies
+
+
+@given(small_tasksets(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_accounting_invariants(taskset, seed):
+    """Bookkeeping holds for every policy under randomized execution."""
+    scenario_rng = np.random.default_rng(seed)
+    for policy in _policies_for(taskset):
+        scenario = RandomScenario(
+            np.random.default_rng(scenario_rng.integers(2**63)),
+            overrun_prob=0.3,
+            random_phases=True,
+        )
+        sim = UniprocessorSim(taskset, policy)
+        result = sim.run(scenario, HORIZON, record_trace=True)
+
+        # Completions never exceed releases; dropped LC jobs were released.
+        assert result.jobs_completed <= result.jobs_released
+        assert result.lc_jobs_dropped <= result.jobs_released
+
+        # The processor cannot do more work than time available.
+        assert result.trace.busy_time() <= HORIZON
+
+        # Each (task, job) pair misses at most once.
+        miss_keys = [(m.task_name, m.job_index) for m in result.misses]
+        assert len(miss_keys) == len(set(miss_keys))
+
+        # Mode switches are strictly inside the horizon and ordered.
+        switches = result.mode_switches
+        assert switches == sorted(switches)
+        assert all(0 < s <= HORIZON for s in switches)
+
+        # Mode-aware runtimes pair switches with resets or stay in HI.
+        if policy.mode_aware:
+            assert result.idle_resets <= len(switches) + 1
+        else:
+            assert switches == []
+
+
+@given(small_tasksets(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_lc_misses_after_switch_never_violations(taskset, seed):
+    """MissRecord classification matches the MC-correctness definition."""
+    policy = EDFVDPolicy(scaling_factor=0.7)
+    scenario = RandomScenario(
+        np.random.default_rng(seed), overrun_prob=0.5, random_phases=False
+    )
+    result = UniprocessorSim(taskset, policy).run(scenario, HORIZON)
+    for miss in result.misses:
+        if miss.criticality_high:
+            assert miss.is_violation
+        elif miss.high_mode_at_miss:
+            assert not miss.is_violation
+
+
+@given(small_tasksets())
+@settings(max_examples=25, deadline=None)
+def test_nominal_vs_reservation_consistency(taskset):
+    """Under nominal execution, mode-aware runtimes never switch and thus
+    behave identically w.r.t. MC violations to plain EDF at LO budgets."""
+    from repro.sim import NominalScenario
+
+    edfvd = UniprocessorSim(taskset, EDFVDPolicy(1.0)).run(
+        NominalScenario(), HORIZON
+    )
+    assert edfvd.mode_switches == []
+    assert edfvd.lc_jobs_dropped == 0

@@ -1,0 +1,97 @@
+"""Unit tests for execution traces."""
+
+from repro.model import TaskSet
+from repro.sim import (
+    EDFPolicy,
+    EDFVDPolicy,
+    FixedOverrunScenario,
+    NominalScenario,
+    UniprocessorSim,
+)
+from repro.sim.trace import ExecutionTrace, TraceSegment
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestExecutionTrace:
+    def test_record_and_merge(self):
+        trace = ExecutionTrace()
+        trace.record(0, 5, "a", False)
+        trace.record(5, 8, "a", False)  # contiguous, same task/mode: merged
+        trace.record(8, 10, "b", False)
+        assert trace.segments == [
+            TraceSegment(0, 8, "a", False),
+            TraceSegment(8, 10, "b", False),
+        ]
+
+    def test_mode_change_breaks_merge(self):
+        trace = ExecutionTrace()
+        trace.record(0, 5, "a", False)
+        trace.record(5, 8, "a", True)
+        assert len(trace.segments) == 2
+
+    def test_empty_interval_ignored(self):
+        trace = ExecutionTrace()
+        trace.record(5, 5, "a", False)
+        assert trace.segments == []
+
+    def test_queries(self):
+        trace = ExecutionTrace()
+        trace.record(0, 4, "a", False)
+        trace.record(4, 6, "b", True)
+        trace.record(8, 10, "a", False)
+        assert trace.busy_time() == 8
+        assert trace.execution_time_of("a") == 6
+        assert trace.hi_mode_time() == 2
+        assert trace.task_at(1) == "a"
+        assert trace.task_at(7) is None  # idle gap
+
+    def test_ascii_rendering(self):
+        trace = ExecutionTrace()
+        trace.record(0, 4, "t1", False)
+        trace.record(4, 6, "t2", True)
+        art = trace.as_ascii(width=10)
+        assert "t1" in art and "t2" in art
+        assert "#" in art and "!" in art
+
+    def test_empty_ascii(self):
+        assert "empty" in ExecutionTrace().as_ascii()
+
+
+class TestEngineIntegration:
+    def test_trace_disabled_by_default(self):
+        ts = TaskSet([lc_task(10, 3)])
+        result = UniprocessorSim(ts, EDFPolicy()).run(NominalScenario(), 50)
+        assert result.trace is None
+
+    def test_trace_accounts_all_execution(self):
+        task = lc_task(10, 3)
+        ts = TaskSet([task])
+        result = UniprocessorSim(ts, EDFPolicy()).run(
+            NominalScenario(), 50, record_trace=True
+        )
+        assert result.trace is not None
+        # 5 jobs of 3 units each within [0, 50)
+        assert result.trace.execution_time_of(task.name) == 15
+        assert result.trace.busy_time() == 15
+
+    def test_trace_shows_hi_mode_execution(self):
+        task = hc_task(20, 4, 9)
+        ts = TaskSet([task])
+        result = UniprocessorSim(ts, EDFVDPolicy(1.0)).run(
+            FixedOverrunScenario({task.task_id}, 0), 40, record_trace=True
+        )
+        assert result.trace is not None
+        assert result.trace.hi_mode_time() > 0
+        # The overrun job executes 9 units total: 4 in LO + 5 in HI.
+        first_job_time = result.trace.execution_time_of(task.name)
+        assert first_job_time >= 9
+
+    def test_preemption_visible_in_trace(self):
+        long = lc_task(50, 20, name="long")
+        short = lc_task(10, 2, name="short")
+        result = UniprocessorSim(TaskSet([long, short]), EDFPolicy()).run(
+            NominalScenario(), 50, record_trace=True
+        )
+        assert result.trace is not None
+        assert len(result.trace.segments_of("long")) > 1

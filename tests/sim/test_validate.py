@@ -1,0 +1,79 @@
+"""Unit tests for analysis-vs-simulation validation glue."""
+
+import pytest
+
+from repro.analysis import (
+    AMCmaxTest,
+    ECDFTest,
+    EDFTest,
+    EDFVDTest,
+    EYTest,
+)
+from repro.sim import policy_for, validate_against_simulation
+from repro.sim.policies import AMCPolicy, EDFPolicy, EDFVDPolicy
+from repro.sim.validate import standard_scenarios
+from repro.util import derive_rng
+
+
+class TestPolicyFor:
+    def test_edfvd_maps_to_scaling_policy(self, simple_mixed_taskset):
+        test = EDFVDTest()
+        policy = policy_for(test, test.analyze(simple_mixed_taskset))
+        assert isinstance(policy, EDFVDPolicy)
+        assert not policy.virtual_deadlines
+
+    def test_ey_and_ecdf_map_to_vd_map_policy(self, simple_mixed_taskset):
+        for test in (EYTest(), ECDFTest()):
+            policy = policy_for(test, test.analyze(simple_mixed_taskset))
+            assert isinstance(policy, EDFVDPolicy)
+            assert policy.virtual_deadlines
+
+    def test_amc_maps_to_fixed_priority(self, simple_mixed_taskset):
+        test = AMCmaxTest()
+        policy = policy_for(test, test.analyze(simple_mixed_taskset))
+        assert isinstance(policy, AMCPolicy)
+
+    def test_edf_reservation_maps_to_plain_edf(self, simple_mixed_taskset):
+        test = EDFTest()
+        policy = policy_for(test, test.analyze(simple_mixed_taskset))
+        assert isinstance(policy, EDFPolicy)
+
+    def test_unknown_test_rejected(self, simple_mixed_taskset):
+        class Fake(EDFVDTest):
+            name = "mystery"
+
+        test = Fake()
+        with pytest.raises(ValueError, match="no runtime policy"):
+            policy_for(test, test.analyze(simple_mixed_taskset))
+
+
+class TestScenarioBattery:
+    def test_contains_all_families(self, simple_mixed_taskset):
+        scenarios = standard_scenarios(
+            simple_mixed_taskset, derive_rng("battery"), random_runs=2
+        )
+        labels = [s.describe() for s in scenarios]
+        assert any("Nominal" in label for label in labels)
+        assert any("FixedOverrun" in label for label in labels)
+        assert sum("Random" in label for label in labels) == 2
+        # one single-overrun + one mid-stream overrun per HC task, plus all-HC
+        n_hc = len(simple_mixed_taskset.high_tasks)
+        assert sum("selected" in label for label in labels) == 2 * n_hc
+
+
+class TestValidateAgainstSimulation:
+    def test_accepted_set_validates(self, simple_mixed_taskset):
+        violations = validate_against_simulation(
+            simple_mixed_taskset,
+            EDFVDTest(),
+            derive_rng("ok"),
+            horizon=4000,
+            random_runs=1,
+        )
+        assert violations == []
+
+    def test_rejected_set_raises(self, heavy_taskset):
+        with pytest.raises(ValueError, match="accepted"):
+            validate_against_simulation(
+                heavy_taskset, EDFVDTest(), derive_rng("no")
+            )

@@ -1,0 +1,108 @@
+"""End-to-end system tests: generate -> partition -> simulate.
+
+The full pipeline a user of the library runs, asserted at system level:
+for every (strategy, test) pairing the paper evaluates, a successful
+partition must survive adversarial multi-core simulation with zero MC
+violations and with mode switches confined to overrunning cores.
+"""
+
+import pytest
+
+from repro.analysis import AMCmaxTest, ECDFTest, EDFVDTest
+from repro.core import get_strategy, partition
+from repro.generator import MCTaskSetGenerator
+from repro.sim import (
+    FixedOverrunScenario,
+    PartitionedSim,
+    RandomScenario,
+    policy_for,
+)
+from repro.util import derive_rng
+
+import numpy as np
+
+PAIRINGS = [
+    ("cu-udp", EDFVDTest(), "implicit"),
+    ("ca-udp", EDFVDTest(), "implicit"),
+    ("ca-nosort-f-f", EDFVDTest(), "implicit"),
+    ("cu-udp", ECDFTest(), "constrained"),
+    ("eca-wu-f", ECDFTest(), "constrained"),
+    ("cu-udp", AMCmaxTest(), "constrained"),
+    ("ca-f-f", AMCmaxTest(), "constrained"),
+]
+
+
+@pytest.mark.parametrize(
+    "strategy_name,test,deadline_type",
+    PAIRINGS,
+    ids=[f"{s}+{t.name}" for s, t, _ in PAIRINGS],
+)
+def test_partition_then_simulate(strategy_name, test, deadline_type):
+    m = 4
+    rng = derive_rng("e2e", strategy_name, test.name)
+    gen = MCTaskSetGenerator(m=m, deadline_type=deadline_type)
+
+    simulated = 0
+    for attempt in range(10):
+        taskset = gen.generate(rng, 0.5, 0.25, 0.3)
+        if taskset is None:
+            continue
+        result = partition(taskset, m, test, get_strategy(strategy_name))
+        if not result.success:
+            continue
+
+        def policy_factory(core):
+            return policy_for(test, test.analyze(core))
+
+        sim = PartitionedSim(result.cores, policy_factory)
+
+        # Adversarial: every HC task overruns every job, all cores at once.
+        outcome = sim.run(lambda idx: FixedOverrunScenario(None), 15_000)
+        assert outcome.mc_correct, (
+            f"{strategy_name}+{test.name}: violations "
+            f"{outcome.mc_violations[:3]}"
+        )
+
+        # Randomized fuzz pass.
+        seeds = [int(rng.integers(2**63)) for _ in result.cores]
+        outcome = sim.run(
+            lambda idx: RandomScenario(
+                np.random.default_rng(seeds[idx]),
+                overrun_prob=0.4,
+                random_phases=True,
+            ),
+            15_000,
+        )
+        assert outcome.mc_correct
+        simulated += 1
+        if simulated >= 3:
+            break
+    assert simulated >= 1, "no successful partition to simulate"
+
+
+def test_mode_switch_isolation_across_strategies():
+    """Overrun on one core never disturbs another, whatever the strategy."""
+    m = 4
+    rng = derive_rng("e2e-isolation")
+    gen = MCTaskSetGenerator(m=m)
+    test = EDFVDTest()
+    taskset = None
+    while taskset is None:
+        taskset = gen.generate(rng, 0.5, 0.25, 0.3)
+    for strategy_name in ("cu-udp", "ca-udp", "ca-f-f", "wfd"):
+        result = partition(taskset, m, test, get_strategy(strategy_name))
+        if not result.success:
+            continue
+        target_core = next(
+            idx for idx, core in enumerate(result.cores) if core.high_tasks
+        )
+        trigger = result.cores[target_core].high_tasks[0]
+
+        def policy_factory(core):
+            return policy_for(test, test.analyze(core))
+
+        outcome = PartitionedSim(result.cores, policy_factory).run(
+            lambda idx: FixedOverrunScenario({trigger.task_id}), 10_000
+        )
+        assert outcome.mc_correct
+        assert set(outcome.cores_switched) <= {target_core}

@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are part of the public deliverable; they execute in-process here
+(stdout captured by pytest) so API drift breaks the suite, not the user.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "paper_examples.py",
+        "avionics_case_study.py",
+        "explore_partitioning.py",
+    } <= present
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "cu-udp" in out
+    assert "MC-correct: True" in out
+
+
+def test_paper_examples_show_both_phenomena(capsys):
+    _run("paper_examples.py")
+    out = capsys.readouterr().out
+    # Figure 1: CA-Wu-F fails, CA-UDP succeeds.
+    assert "ca-wu-f + edf-vd on m=2: FAILED" in out
+    assert "ca-udp + edf-vd on m=2: SUCCESS" in out
+    # Figure 2: CA-UDP fails, CU-UDP succeeds.
+    assert "ca-udp + edf-vd on m=2: FAILED" in out
+    assert "cu-udp + edf-vd on m=2: SUCCESS" in out
+
+
+def test_avionics_case_study_isolation(capsys):
+    _run("avionics_case_study.py")
+    out = capsys.readouterr().out
+    assert "isolation holds" in out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--samples", "4", "--ub-min", "0.6"],
+        ["--samples", "3", "--deadline", "constrained", "--m", "2"],
+    ],
+)
+def test_explorer_runs(capsys, argv):
+    _run("explore_partitioning.py", argv)
+    out = capsys.readouterr().out
+    assert "weighted acceptance ratios" in out

@@ -1,0 +1,87 @@
+"""Unit tests for repro.util.intmath."""
+
+import pytest
+
+from repro.util.intmath import ceil_div, floor_div, hyperperiod, is_integral, lcm_all
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_negative_numerator_rounds_toward_zero_ceiling(self):
+        assert ceil_div(-1, 2) == 0
+        assert ceil_div(-4, 2) == -2
+        assert ceil_div(-5, 2) == -2
+
+    def test_one_divisor(self):
+        assert ceil_div(13, 1) == 13
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_nonpositive_divisor_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ceil_div(5, bad)
+
+    def test_matches_float_ceil_on_range(self):
+        import math
+
+        for a in range(-50, 51):
+            for b in range(1, 13):
+                assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestFloorDiv:
+    def test_basic(self):
+        assert floor_div(7, 2) == 3
+
+    def test_negative(self):
+        assert floor_div(-7, 2) == -4
+
+    def test_nonpositive_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            floor_div(1, 0)
+
+
+class TestLcm:
+    def test_pair(self):
+        assert lcm_all([4, 6]) == 12
+
+    def test_single(self):
+        assert lcm_all([7]) == 7
+
+    def test_many(self):
+        assert lcm_all([2, 3, 5, 7]) == 210
+
+    def test_duplicates(self):
+        assert lcm_all([10, 10, 5]) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_all([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_all([3, 0])
+
+    def test_hyperperiod_alias(self):
+        assert hyperperiod([10, 25]) == 50
+
+
+class TestIsIntegral:
+    def test_exact(self):
+        assert is_integral(4.0)
+
+    def test_close(self):
+        assert is_integral(3.9999999999)
+
+    def test_not_integral(self):
+        assert not is_integral(3.5)
+
+    def test_custom_tolerance(self):
+        assert is_integral(3.4, tol=0.5)

@@ -1,0 +1,32 @@
+"""Unit tests for repro.util.rng (deterministic seeding)."""
+
+from repro.util.rng import derive_rng, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed("a", 1, 0.5) == spawn_seed("a", 1, 0.5)
+
+    def test_component_sensitivity(self):
+        assert spawn_seed("a", 1) != spawn_seed("a", 2)
+        assert spawn_seed("a") != spawn_seed("b")
+
+    def test_order_sensitivity(self):
+        assert spawn_seed("a", "b") != spawn_seed("b", "a")
+
+    def test_positive_63_bit(self):
+        for args in [("x",), (1, 2, 3), (0.1, "y")]:
+            seed = spawn_seed(*args)
+            assert 0 <= seed < 2**63
+
+
+class TestDeriveRng:
+    def test_same_components_same_stream(self):
+        a = derive_rng("exp", 4).random(5)
+        b = derive_rng("exp", 4).random(5)
+        assert (a == b).all()
+
+    def test_different_components_different_stream(self):
+        a = derive_rng("exp", 4).random(5)
+        b = derive_rng("exp", 5).random(5)
+        assert not (a == b).all()

@@ -1,0 +1,39 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in out and "0.125" in out
+
+    def test_title_line(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_float_format_override(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".1f")
+        assert "0.1" in out and "0.12" not in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert all(len(r) == len(rows[0]) for r in rows)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["alpha"]])
+        assert "alpha" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
