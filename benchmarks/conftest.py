@@ -14,7 +14,6 @@ written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
@@ -29,13 +28,16 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 def bench_samples(default: int = 10) -> int:
     """Task sets per bucket for bench runs."""
-    return int(os.environ.get("REPRO_SAMPLES", default))
+    from repro.util.env import samples_from_env
+
+    return samples_from_env(default)
 
 
 def bench_m_values() -> tuple[int, ...]:
     """Processor counts to sweep."""
-    raw = os.environ.get("REPRO_M", "2,4,8")
-    return tuple(int(v) for v in raw.split(","))
+    from repro.util.env import m_values_from_env
+
+    return m_values_from_env()
 
 
 def emit(name: str, text: str) -> None:

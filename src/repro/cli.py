@@ -11,7 +11,12 @@ Commands
 ``simulate``
     Validate an accepted task set against the adversarial scenario battery.
 ``figure``
-    Run one of the paper's figure experiments and print its tables.
+    Run one of the paper's figure experiments and print its tables
+    (``--jobs N`` fans buckets out over a worker pool; ``--cache-dir``
+    makes the run resumable).
+``campaign``
+    Run a whole set of figures through the parallel, resumable campaign
+    engine and save their JSON results.
 ``sensitivity``
     Run the utilization-difference sensitivity extension experiment.
 
@@ -86,6 +91,58 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--samples", type=int, default=None)
     figure.add_argument(
         "--m", default=None, help="comma-separated processor counts"
+    )
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores, default 1 = serial)",
+    )
+    figure.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shard cache directory; reruns resume instead of recomputing",
+    )
+    figure.add_argument(
+        "-o", "--output", default=None, help="also save the result JSON here"
+    )
+    figure.add_argument(
+        "--progress", action="store_true", help="live shard progress on stderr"
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run a figure campaign (parallel + resumable)"
+    )
+    campaign.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec JSON; omit to run every figure of the paper",
+    )
+    campaign.add_argument(
+        "--figures",
+        default=None,
+        help="comma-separated figure names (alternative to a spec file)",
+    )
+    campaign.add_argument("--samples", type=int, default=None)
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores, default 1 = serial)",
+    )
+    campaign.add_argument(
+        "--out", default="campaign-results", help="output directory"
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shard cache directory (default: <out>/cache)",
+    )
+    campaign.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the live progress line",
     )
 
     sens = sub.add_parser(
@@ -174,15 +231,85 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _resolve_jobs(jobs: int) -> int:
+    from repro.runner import default_jobs
+
+    if jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0, got {jobs}")
+    return default_jobs() if jobs == 0 else jobs
+
+
 def _cmd_figure(args) -> int:
     from repro.experiments import run_figure
+    from repro.experiments.export import save_figure_result
     from repro.experiments.report import render_figure
+    from repro.runner import ProgressReporter, ShardCache
 
     kwargs = {}
     if args.m:
         kwargs["m_values"] = tuple(int(v) for v in args.m.split(","))
-    result = run_figure(args.name, samples=args.samples, **kwargs)
+    cache = ShardCache(args.cache_dir) if args.cache_dir else None
+    progress = ProgressReporter(label=args.name) if args.progress else None
+    result = run_figure(
+        args.name,
+        samples=args.samples,
+        jobs=_resolve_jobs(args.jobs),
+        cache=cache,
+        progress=progress,
+        **kwargs,
+    )
+    if progress is not None:
+        progress.finish()
+    if args.output:
+        save_figure_result(result, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
     print(render_figure(result))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.runner import (
+        CampaignSpec,
+        FigureJob,
+        ProgressReporter,
+        run_campaign,
+    )
+
+    if args.spec and args.figures:
+        raise SystemExit("pass either a spec file or --figures, not both")
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_json_file(args.spec)
+            if args.samples is not None:
+                raise SystemExit("--samples belongs in the spec file")
+        elif args.figures:
+            jobs_list = tuple(
+                FigureJob(name.strip(), samples=args.samples)
+                for name in args.figures.split(",")
+                if name.strip()
+            )
+            spec = CampaignSpec(name="cli-campaign", figures=jobs_list)
+        else:
+            spec = CampaignSpec.paper_evaluation(samples=args.samples)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise SystemExit(f"invalid campaign: {exc}") from None
+
+    progress = None if args.no_progress else ProgressReporter(label=spec.name)
+    report = run_campaign(
+        spec,
+        args.out,
+        jobs=_resolve_jobs(args.jobs),
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    figure_word = "figure" if len(report.outputs) == 1 else "figures"
+    print(
+        f"campaign {spec.name!r}: {len(report.outputs)} {figure_word} -> "
+        f"{args.out} ({report.shards_computed} shards computed, "
+        f"{report.shards_cached} from cache)"
+    )
+    for key, path in report.outputs.items():
+        print(f"  {key}: {path}")
     return 0
 
 
@@ -213,6 +340,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
+    "campaign": _cmd_campaign,
     "sensitivity": _cmd_sensitivity,
 }
 

@@ -23,8 +23,10 @@ from repro.experiments.algorithms import (
 )
 from repro.experiments.acceptance import (
     AcceptanceSweep,
+    BucketOutcome,
     SweepConfig,
     SweepResult,
+    merge_outcomes,
 )
 from repro.experiments.export import (
     load_figure_result,
@@ -38,11 +40,13 @@ from repro.experiments.weighted import weighted_acceptance_ratio
 from repro.experiments.figures import (
     FIGURES,
     FigureResult,
+    SweepJob,
     fig3,
     fig4,
     fig5,
     fig6a,
     fig6b,
+    figure_plan,
     run_figure,
 )
 from repro.experiments.report import (
@@ -57,8 +61,10 @@ __all__ = [
     "get_algorithm",
     "registered_algorithms",
     "AcceptanceSweep",
+    "BucketOutcome",
     "SweepConfig",
     "SweepResult",
+    "merge_outcomes",
     "SensitivityResult",
     "difference_sensitivity",
     "load_figure_result",
@@ -66,6 +72,8 @@ __all__ = [
     "weighted_acceptance_ratio",
     "FIGURES",
     "FigureResult",
+    "SweepJob",
+    "figure_plan",
     "fig3",
     "fig4",
     "fig5",

@@ -20,7 +20,13 @@ from repro.model import TaskSet
 from repro.util.rng import derive_rng
 from repro.experiments.algorithms import PartitionedAlgorithm
 
-__all__ = ["SweepConfig", "SweepResult", "AcceptanceSweep"]
+__all__ = [
+    "SweepConfig",
+    "SweepResult",
+    "BucketOutcome",
+    "AcceptanceSweep",
+    "merge_outcomes",
+]
 
 
 @dataclass(frozen=True)
@@ -46,9 +52,18 @@ class SweepResult:
     samples: list[int] = field(default_factory=list)
     ratios: dict[str, list[float]] = field(default_factory=dict)
 
+    def _series(self, algorithm: str) -> list[float]:
+        try:
+            return self.ratios[algorithm]
+        except KeyError:
+            known = ", ".join(sorted(self.ratios)) or "(none)"
+            raise KeyError(
+                f"unknown algorithm {algorithm!r}; this sweep ran: {known}"
+            ) from None
+
     def ratio_curve(self, algorithm: str) -> list[tuple[float, float]]:
         """``(UB, acceptance ratio)`` series for one algorithm."""
-        return list(zip(self.buckets, self.ratios[algorithm]))
+        return list(zip(self.buckets, self._series(algorithm)))
 
     def max_improvement(self, algorithm: str, baseline: str) -> float:
         """Largest acceptance-ratio gain of ``algorithm`` over ``baseline``.
@@ -59,9 +74,46 @@ class SweepResult:
         """
         gains = [
             a - b
-            for a, b in zip(self.ratios[algorithm], self.ratios[baseline])
+            for a, b in zip(self._series(algorithm), self._series(baseline))
         ]
         return 100.0 * max(gains, default=0.0)
+
+
+def merge_outcomes(
+    config: SweepConfig,
+    algorithm_names: list[str],
+    outcomes: list["BucketOutcome"],
+) -> SweepResult:
+    """Assemble per-bucket shards into the result the serial sweep produces.
+
+    Outcomes may arrive in any order (e.g. from a worker pool); they are
+    sorted by bucket and empty buckets are dropped, exactly mirroring the
+    serial loop, so the merged result is bit-identical to a serial run.
+    """
+    result = SweepResult(config, ratios={name: [] for name in algorithm_names})
+    for outcome in sorted(outcomes, key=lambda o: o.bucket):
+        if outcome.samples == 0:
+            continue
+        result.buckets.append(outcome.bucket)
+        result.samples.append(outcome.samples)
+        for name in algorithm_names:
+            result.ratios[name].append(outcome.ratios[name])
+    return result
+
+
+@dataclass(frozen=True)
+class BucketOutcome:
+    """One sweep shard: acceptance ratios for a single ``UB`` bucket.
+
+    This is the unit of work the campaign runner distributes, caches and
+    merges (see :mod:`repro.runner`): the whole sweep is a deterministic
+    function of its per-bucket outcomes.  ``ratios`` preserves the
+    algorithm order of the sweep.
+    """
+
+    bucket: float
+    samples: int  #: task sets actually generated (0 = bucket infeasible)
+    ratios: dict[str, float]
 
 
 class AcceptanceSweep:
@@ -70,7 +122,10 @@ class AcceptanceSweep:
     Task sets are generated once per (bucket, replicate) and shared by all
     algorithms, matching the paper's methodology (every algorithm sees the
     same 1000 task sets).  Generation is deterministic in
-    ``(label, m, deadline_type, p_high, bucket, replicate)``.
+    ``(label, m, deadline_type, p_high, bucket, replicate)``, so every
+    bucket can be computed in isolation (see :meth:`run_bucket`) — in any
+    order, in any process — and reassembled into the exact result the
+    serial :meth:`run` produces.
     """
 
     def __init__(self, config: SweepConfig, grid: UtilizationGrid | None = None):
@@ -108,21 +163,35 @@ class AcceptanceSweep:
         return out
 
     # -- sweeping -----------------------------------------------------------------
+    def bucket_points(self) -> dict[float, list[GridPoint]]:
+        """Grid points per swept bucket, ascending, filtered to the UB range."""
+        cfg = self.config
+        return {
+            bucket: points
+            for bucket, points in self.grid.buckets(cfg.bucket_width).items()
+            if cfg.ub_min <= bucket <= cfg.ub_max
+        }
+
+    def run_bucket(
+        self,
+        bucket: float,
+        points: list[GridPoint],
+        algorithms: list[PartitionedAlgorithm],
+    ) -> BucketOutcome:
+        """Run every algorithm over one bucket's task-set sample (one shard)."""
+        cfg = self.config
+        tasksets = self.tasksets_for_bucket(bucket, points)
+        ratios: dict[str, float] = {}
+        if tasksets:
+            for algorithm in algorithms:
+                accepted = sum(algorithm.accepts(ts, cfg.m) for ts in tasksets)
+                ratios[algorithm.name] = accepted / len(tasksets)
+        return BucketOutcome(bucket=bucket, samples=len(tasksets), ratios=ratios)
+
     def run(self, algorithms: list[PartitionedAlgorithm]) -> SweepResult:
         """Full sweep; see class docstring."""
-        cfg = self.config
-        result = SweepResult(cfg, ratios={a.name: [] for a in algorithms})
-        for bucket, points in self.grid.buckets(cfg.bucket_width).items():
-            if not cfg.ub_min <= bucket <= cfg.ub_max:
-                continue
-            tasksets = self.tasksets_for_bucket(bucket, points)
-            if not tasksets:
-                continue
-            result.buckets.append(bucket)
-            result.samples.append(len(tasksets))
-            for algorithm in algorithms:
-                accepted = sum(
-                    algorithm.accepts(ts, cfg.m) for ts in tasksets
-                )
-                result.ratios[algorithm.name].append(accepted / len(tasksets))
-        return result
+        outcomes = [
+            self.run_bucket(bucket, points, algorithms)
+            for bucket, points in self.bucket_points().items()
+        ]
+        return merge_outcomes(self.config, [a.name for a in algorithms], outcomes)

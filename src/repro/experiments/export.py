@@ -22,6 +22,9 @@ from repro.experiments.acceptance import SweepConfig, SweepResult
 from repro.experiments.figures import FigureResult
 
 __all__ = [
+    "sweep_config_to_dict",
+    "sweep_to_dict",
+    "sweep_from_dict",
     "figure_result_to_dict",
     "figure_result_from_dict",
     "save_figure_result",
@@ -31,25 +34,37 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
-def _sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
+def sweep_config_to_dict(config: SweepConfig) -> dict[str, Any]:
+    """JSON-compatible dict form of a sweep config.
+
+    Also the canonical config serialization the runner's shard cache hashes
+    (see :mod:`repro.runner.cache`), so a config field added here
+    automatically invalidates stale cached shards.
+    """
     return {
-        "config": {
-            "label": sweep.config.label,
-            "m": sweep.config.m,
-            "deadline_type": sweep.config.deadline_type,
-            "p_high": sweep.config.p_high,
-            "samples_per_bucket": sweep.config.samples_per_bucket,
-            "bucket_width": sweep.config.bucket_width,
-            "ub_min": sweep.config.ub_min,
-            "ub_max": sweep.config.ub_max,
-        },
+        "label": config.label,
+        "m": config.m,
+        "deadline_type": config.deadline_type,
+        "p_high": config.p_high,
+        "samples_per_bucket": config.samples_per_bucket,
+        "bucket_width": config.bucket_width,
+        "ub_min": config.ub_min,
+        "ub_max": config.ub_max,
+    }
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
+    """JSON-compatible dict form of one sweep result."""
+    return {
+        "config": sweep_config_to_dict(sweep.config),
         "buckets": sweep.buckets,
         "samples": sweep.samples,
         "ratios": sweep.ratios,
     }
 
 
-def _sweep_from_dict(data: dict[str, Any]) -> SweepResult:
+def sweep_from_dict(data: dict[str, Any]) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`."""
     config = SweepConfig(**data["config"])
     return SweepResult(
         config=config,
@@ -64,7 +79,7 @@ def figure_result_to_dict(result: FigureResult) -> dict[str, Any]:
     return {
         "format_version": _FORMAT_VERSION,
         "figure": result.figure,
-        "sweeps": {key: _sweep_to_dict(s) for key, s in result.sweeps.items()},
+        "sweeps": {key: sweep_to_dict(s) for key, s in result.sweeps.items()},
         # JSON keys must be strings; encode the (m, PH) tuple as "m,ph".
         "war": {
             f"{m},{ph}": table for (m, ph), table in result.war.items()
@@ -82,7 +97,7 @@ def figure_result_from_dict(data: dict[str, Any]) -> FigureResult:
         )
     result = FigureResult(data["figure"])
     for key, sweep_data in data.get("sweeps", {}).items():
-        result.sweeps[key] = _sweep_from_dict(sweep_data)
+        result.sweeps[key] = sweep_from_dict(sweep_data)
     for key, table in data.get("war", {}).items():
         m_raw, ph_raw = key.split(",", 1)
         result.war[(int(m_raw), float(ph_raw))] = dict(table)

@@ -5,21 +5,28 @@ Each function reproduces one figure of the paper and returns a
 controlled by ``samples`` (task sets per ``UB`` bucket — the paper used
 1000) and can also be set via the ``REPRO_SAMPLES`` environment variable;
 see :func:`default_samples`.
+
+Every figure is planned declaratively (:func:`figure_plan` returns the
+sweeps it needs as :class:`SweepJob` entries) and executed through the
+campaign runner (:mod:`repro.runner`): pass ``jobs=N`` to fan buckets out
+over a worker pool and ``cache=ShardCache(...)`` to make runs resumable —
+results are bit-identical to a serial, uncached run either way.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
-from repro.experiments.acceptance import AcceptanceSweep, SweepConfig, SweepResult
-from repro.experiments.algorithms import PartitionedAlgorithm, get_algorithm
+from repro.experiments.acceptance import SweepConfig, SweepResult
 from repro.experiments.weighted import weighted_acceptance_ratio
+from repro.util.env import samples_from_env
 
 __all__ = [
     "FigureResult",
     "FIGURES",
+    "SweepJob",
     "default_samples",
+    "figure_plan",
     "fig3",
     "fig4",
     "fig5",
@@ -48,13 +55,7 @@ FIG6_M_VALUES = (2, 4)
 
 def default_samples(fallback: int = 100) -> int:
     """Samples per bucket: ``REPRO_SAMPLES`` env var or ``fallback``."""
-    raw = os.environ.get("REPRO_SAMPLES", "")
-    if raw:
-        value = int(raw)
-        if value <= 0:
-            raise ValueError(f"REPRO_SAMPLES must be positive, got {value}")
-        return value
-    return fallback
+    return samples_from_env(fallback)
 
 
 @dataclass
@@ -79,103 +80,190 @@ class FigureResult:
         return []
 
 
-def _algorithms(names: tuple[str, ...]) -> list[PartitionedAlgorithm]:
-    return [get_algorithm(name) for name in names]
+@dataclass(frozen=True)
+class SweepJob:
+    """One sweep a figure needs: config + algorithms + result slot.
+
+    The declarative plan unit behind every figure — the campaign runner
+    uses plans both to execute figures and to size progress reporting.
+    ``war_key`` marks sweeps whose weighted acceptance ratio feeds the
+    figure's WAR table (Figure 6).
+    """
+
+    key: str
+    config: SweepConfig
+    algorithms: tuple[str, ...]
+    war_key: tuple[int, float] | None = None
 
 
-def _acceptance_figure(
+def _acceptance_plan(
     figure: str,
     algorithm_names: tuple[str, ...],
     deadline_type: str,
     m_values: tuple[int, ...],
     samples: int | None,
-) -> FigureResult:
+) -> list[SweepJob]:
     samples = samples if samples is not None else default_samples()
-    result = FigureResult(figure)
-    for m in m_values:
-        config = SweepConfig(
-            label=figure,
-            m=m,
-            deadline_type=deadline_type,
-            samples_per_bucket=samples,
+    return [
+        SweepJob(
+            key=f"m={m}",
+            config=SweepConfig(
+                label=figure,
+                m=m,
+                deadline_type=deadline_type,
+                samples_per_bucket=samples,
+            ),
+            algorithms=algorithm_names,
         )
-        sweep = AcceptanceSweep(config)
-        result.sweeps[f"m={m}"] = sweep.run(_algorithms(algorithm_names))
-    return result
+        for m in m_values
+    ]
 
 
-def fig3(
-    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
-) -> FigureResult:
-    """Figure 3: implicit deadlines, EDF-VD algorithms (speed-up bound 8/3)."""
-    return _acceptance_figure("fig3", FIG3_ALGORITHMS, "implicit", m_values, samples)
-
-
-def fig4(
-    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
-) -> FigureResult:
-    """Figure 4: implicit deadlines, algorithms without a speed-up bound."""
-    return _acceptance_figure("fig4", FIG45_ALGORITHMS, "implicit", m_values, samples)
-
-
-def fig5(
-    samples: int | None = None, m_values: tuple[int, ...] = (2, 4, 8)
-) -> FigureResult:
-    """Figure 5: constrained deadlines, algorithms without a speed-up bound."""
-    return _acceptance_figure(
-        "fig5", FIG45_ALGORITHMS, "constrained", m_values, samples
-    )
-
-
-def _war_figure(
+def _war_plan(
     figure: str,
     algorithm_names: tuple[str, ...],
     deadline_type: str,
     samples: int | None,
     ph_values: tuple[float, ...],
     m_values: tuple[int, ...],
-) -> FigureResult:
+) -> list[SweepJob]:
     samples = samples if samples is not None else default_samples()
-    result = FigureResult(figure)
-    algorithms = _algorithms(algorithm_names)
-    for m in m_values:
-        for ph in ph_values:
-            config = SweepConfig(
+    return [
+        SweepJob(
+            key=f"m={m},PH={ph}",
+            config=SweepConfig(
                 label=figure,
                 m=m,
                 deadline_type=deadline_type,
                 p_high=ph,
                 samples_per_bucket=samples,
-            )
-            sweep = AcceptanceSweep(config).run(algorithms)
-            result.sweeps[f"m={m},PH={ph}"] = sweep
-            result.war[(m, ph)] = {
+            ),
+            algorithms=algorithm_names,
+            war_key=(m, ph),
+        )
+        for m in m_values
+        for ph in ph_values
+    ]
+
+
+_PLANNERS = {
+    "fig3": lambda samples, m_values=(2, 4, 8): _acceptance_plan(
+        "fig3", FIG3_ALGORITHMS, "implicit", m_values, samples
+    ),
+    "fig4": lambda samples, m_values=(2, 4, 8): _acceptance_plan(
+        "fig4", FIG45_ALGORITHMS, "implicit", m_values, samples
+    ),
+    "fig5": lambda samples, m_values=(2, 4, 8): _acceptance_plan(
+        "fig5", FIG45_ALGORITHMS, "constrained", m_values, samples
+    ),
+    "fig6a": lambda samples, ph_values=FIG6_PH_VALUES, m_values=FIG6_M_VALUES: _war_plan(
+        "fig6a", FIG6A_ALGORITHMS, "implicit", samples, ph_values, m_values
+    ),
+    "fig6b": lambda samples, ph_values=FIG6_PH_VALUES, m_values=FIG6_M_VALUES: _war_plan(
+        "fig6b", FIG6B_ALGORITHMS, "constrained", samples, ph_values, m_values
+    ),
+}
+
+
+def figure_plan(name: str, samples: int | None = None, **kwargs) -> list[SweepJob]:
+    """The sweeps figure ``name`` would run, without running them."""
+    try:
+        planner = _PLANNERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLANNERS))
+        raise KeyError(f"unknown figure {name!r}; known: {known}") from None
+    return planner(samples, **kwargs)
+
+
+def _run_plan(
+    figure: str,
+    plan: list[SweepJob],
+    jobs: int,
+    cache,
+    progress,
+) -> FigureResult:
+    # Imported lazily: repro.runner depends on this module for plans.
+    from repro.runner.pool import run_sweep
+
+    result = FigureResult(figure)
+    for job in plan:
+        sweep = run_sweep(
+            job.config, job.algorithms, jobs=jobs, cache=cache, progress=progress
+        )
+        result.sweeps[job.key] = sweep
+        if job.war_key is not None:
+            result.war[job.war_key] = {
                 name: weighted_acceptance_ratio(sweep.buckets, ratios)
                 for name, ratios in sweep.ratios.items()
             }
     return result
 
 
+def fig3(
+    samples: int | None = None,
+    m_values: tuple[int, ...] = (2, 4, 8),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> FigureResult:
+    """Figure 3: implicit deadlines, EDF-VD algorithms (speed-up bound 8/3)."""
+    plan = figure_plan("fig3", samples, m_values=m_values)
+    return _run_plan("fig3", plan, jobs, cache, progress)
+
+
+def fig4(
+    samples: int | None = None,
+    m_values: tuple[int, ...] = (2, 4, 8),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> FigureResult:
+    """Figure 4: implicit deadlines, algorithms without a speed-up bound."""
+    plan = figure_plan("fig4", samples, m_values=m_values)
+    return _run_plan("fig4", plan, jobs, cache, progress)
+
+
+def fig5(
+    samples: int | None = None,
+    m_values: tuple[int, ...] = (2, 4, 8),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> FigureResult:
+    """Figure 5: constrained deadlines, algorithms without a speed-up bound."""
+    plan = figure_plan("fig5", samples, m_values=m_values)
+    return _run_plan("fig5", plan, jobs, cache, progress)
+
+
 def fig6a(
     samples: int | None = None,
     ph_values: tuple[float, ...] = FIG6_PH_VALUES,
     m_values: tuple[int, ...] = FIG6_M_VALUES,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> FigureResult:
     """Figure 6a: WAR vs PH, implicit deadlines, EDF-VD algorithms."""
-    return _war_figure(
-        "fig6a", FIG6A_ALGORITHMS, "implicit", samples, ph_values, m_values
-    )
+    plan = figure_plan("fig6a", samples, ph_values=ph_values, m_values=m_values)
+    return _run_plan("fig6a", plan, jobs, cache, progress)
 
 
 def fig6b(
     samples: int | None = None,
     ph_values: tuple[float, ...] = FIG6_PH_VALUES,
     m_values: tuple[int, ...] = FIG6_M_VALUES,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> FigureResult:
     """Figure 6b: WAR vs PH, constrained deadlines, AMC/ECDF vs EY."""
-    return _war_figure(
-        "fig6b", FIG6B_ALGORITHMS, "constrained", samples, ph_values, m_values
-    )
+    plan = figure_plan("fig6b", samples, ph_values=ph_values, m_values=m_values)
+    return _run_plan("fig6b", plan, jobs, cache, progress)
 
 
 FIGURES = {
@@ -188,7 +276,11 @@ FIGURES = {
 
 
 def run_figure(name: str, samples: int | None = None, **kwargs) -> FigureResult:
-    """Dispatch by figure name (``fig3`` ... ``fig6b``)."""
+    """Dispatch by figure name (``fig3`` ... ``fig6b``).
+
+    Accepts the same keyword arguments as the figure functions, including
+    the runner options ``jobs``, ``cache`` and ``progress``.
+    """
     try:
         runner = FIGURES[name]
     except KeyError:

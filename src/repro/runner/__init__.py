@@ -1,0 +1,51 @@
+"""Parallel, resumable execution engine for experiment campaigns.
+
+The paper's evaluation is thousands of independent ``(config, bucket)``
+shards; this package turns any sweep into exactly those shards and runs
+them fast and restartably:
+
+* :mod:`repro.runner.units` — decompose a sweep into picklable
+  :class:`~repro.runner.units.WorkUnit` shards; ``run_unit`` executes one.
+* :mod:`repro.runner.pool` — serial or ``multiprocessing`` execution with
+  a deterministic merge: parallel output is bit-identical to serial.
+* :mod:`repro.runner.cache` — content-addressed on-disk shard cache;
+  interrupted campaigns resume, re-renders never recompute.
+* :mod:`repro.runner.campaign` — declarative
+  :class:`~repro.runner.campaign.CampaignSpec` over many figures.
+* :mod:`repro.runner.progress` — live shard counts and ETA.
+
+Typical use::
+
+    from repro.runner import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.paper_evaluation(samples=1000)
+    run_campaign(spec, "results/paper", jobs=8)
+"""
+
+from repro.runner.cache import SHARD_FORMAT_VERSION, ShardCache
+from repro.runner.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    FigureJob,
+    run_campaign,
+)
+from repro.runner.pool import default_jobs, execute_units, run_sweep
+from repro.runner.progress import ProgressReporter, format_eta
+from repro.runner.units import WorkUnit, decompose_sweep, run_unit
+
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "ShardCache",
+    "CampaignReport",
+    "CampaignSpec",
+    "FigureJob",
+    "run_campaign",
+    "default_jobs",
+    "execute_units",
+    "run_sweep",
+    "ProgressReporter",
+    "format_eta",
+    "WorkUnit",
+    "decompose_sweep",
+    "run_unit",
+]

@@ -1,0 +1,104 @@
+"""Shard execution: serial or across a ``multiprocessing`` pool.
+
+The contract, relied on by the equivalence tests: for a fixed config and
+algorithm list, :func:`run_sweep` returns a result **bit-identical** to
+``AcceptanceSweep(config).run(...)`` no matter the job count, the cache
+state, or the order workers finish in.  Determinism comes for free from
+the per-replicate RNG derivation (see :mod:`repro.util.rng`); this module
+only has to preserve unit identity and merge in bucket order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from repro.experiments.acceptance import (
+    BucketOutcome,
+    SweepConfig,
+    SweepResult,
+    merge_outcomes,
+)
+from repro.runner.units import WorkUnit, decompose_sweep, run_unit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.cache import ShardCache
+    from repro.runner.progress import ProgressReporter
+
+__all__ = ["default_jobs", "execute_units", "run_sweep"]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (\"use the machine\")."""
+    return max(1, len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1))
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps worker start-up negligible next to shard runtimes; fall
+    # back to spawn where fork does not exist (Windows).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def execute_units(
+    units: Sequence[WorkUnit],
+    *,
+    jobs: int = 1,
+    cache: "ShardCache | None" = None,
+    progress: "ProgressReporter | None" = None,
+) -> list[BucketOutcome]:
+    """Run every unit, preferring cached shards, and return them in order.
+
+    ``jobs <= 1`` stays entirely in-process (no pool, no pickling) —
+    that path is what the parallel paths are verified against.
+    """
+    if progress is not None:
+        progress.add_total(len(units))
+
+    outcomes: list[BucketOutcome | None] = [None] * len(units)
+    pending: list[int] = []
+    for idx, unit in enumerate(units):
+        cached = cache.load(unit) if cache is not None else None
+        if cached is not None:
+            outcomes[idx] = cached
+            if progress is not None:
+                progress.unit_done(cached=True)
+        else:
+            pending.append(idx)
+
+    def record(idx: int, outcome: BucketOutcome) -> None:
+        outcomes[idx] = outcome
+        if cache is not None:
+            cache.store(units[idx], outcome)
+        if progress is not None:
+            progress.unit_done()
+
+    if jobs > 1 and len(pending) > 1:
+        workers = min(jobs, len(pending))
+        with _pool_context().Pool(processes=workers) as pool:
+            computed = pool.imap(run_unit, [units[i] for i in pending], chunksize=1)
+            for idx, outcome in zip(pending, computed):
+                record(idx, outcome)
+    else:
+        for idx in pending:
+            record(idx, run_unit(units[idx]))
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def run_sweep(
+    config: SweepConfig,
+    algorithm_names: Sequence[str],
+    *,
+    jobs: int = 1,
+    cache: "ShardCache | None" = None,
+    progress: "ProgressReporter | None" = None,
+) -> SweepResult:
+    """One full acceptance sweep through the shard runner."""
+    names = list(algorithm_names)
+    units = decompose_sweep(config, names)
+    outcomes = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    return merge_outcomes(config, names, outcomes)

@@ -1,0 +1,108 @@
+"""Progress and ETA reporting for campaign runs.
+
+A campaign at paper scale executes hundreds of shards for minutes to
+hours; :class:`ProgressReporter` keeps a single self-overwriting status
+line on a stream (stderr by default) with completion counts, cache hits
+and a smoothed ETA.  It is intentionally dumb and injectable — a plain
+object with ``add_total``/``unit_done``/``finish`` — so the pool can
+drive it without knowing about terminals, and tests can drive it with a
+fake clock and a ``StringIO``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """Humanize a duration: ``42s``, ``3m10s``, ``2h05m``."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Counts shards as they finish and renders ``done/total`` + ETA.
+
+    The total is accrued incrementally (``add_total``) because a campaign
+    discovers its sweeps one figure at a time; the ETA simply scales
+    elapsed wall time by the remaining fraction, which converges quickly
+    since shards are similarly sized.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        label: str = "run",
+        min_interval: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.min_interval = min_interval
+        self._clock = clock
+        self._started: float | None = None
+        self._last_render = float("-inf")
+        self.total = 0
+        self.completed = 0
+        self.cached = 0
+
+    # -- event intake -----------------------------------------------------------
+    def add_total(self, units: int) -> None:
+        """Announce ``units`` more shards of upcoming work."""
+        if self._started is None:
+            self._started = self._clock()
+        self.total += units
+        self._render()
+
+    def unit_done(self, cached: bool = False) -> None:
+        """Record one finished shard (served from cache if ``cached``)."""
+        self.completed += 1
+        if cached:
+            self.cached += 1
+        self._render(force=self.completed == self.total)
+
+    def finish(self) -> None:
+        """Render the final state and terminate the status line."""
+        self._render(force=True)
+        self._stream.write("\n")
+        self._stream.flush()
+
+    # -- rendering --------------------------------------------------------------
+    def eta_seconds(self) -> float | None:
+        """Estimated remaining seconds, or ``None`` before any signal."""
+        if self._started is None or self.completed == 0:
+            return None
+        remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
+        elapsed = self._clock() - self._started
+        return elapsed / self.completed * remaining
+
+    def status_line(self) -> str:
+        parts = [f"{self.label}: {self.completed}/{self.total} shards"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        eta = self.eta_seconds()
+        if eta is not None and self.completed < self.total:
+            parts.append(f"eta {format_eta(eta)}")
+        elif self._started is not None and self.completed >= self.total:
+            parts.append(f"done in {format_eta(self._clock() - self._started)}")
+        return parts[0] + (f" ({', '.join(parts[1:])})" if parts[1:] else "")
+
+    def _render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self._stream.write("\r\x1b[2K" + self.status_line())
+        self._stream.flush()

@@ -1,0 +1,69 @@
+"""Work-unit decomposition of acceptance sweeps.
+
+A sweep over the utilization grid is an embarrassingly parallel job: each
+``UB`` bucket's task-set sample is generated from an RNG derived purely
+from ``(label, m, deadline_type, p_high, bucket, replicate)``, so one
+:class:`WorkUnit` — one ``(sweep config, bucket)`` shard — can run in any
+process, in any order, and still produce the exact outcome the serial
+sweep would.  :func:`run_unit` is the picklable entry point the worker
+pool ships to subprocesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.acceptance import (
+    AcceptanceSweep,
+    BucketOutcome,
+    SweepConfig,
+)
+from repro.experiments.algorithms import get_algorithm
+
+__all__ = ["WorkUnit", "decompose_sweep", "run_unit"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a sweep: a single ``UB`` bucket under one config.
+
+    Carries only plain picklable data (the frozen config, the bucket
+    center and algorithm *names*); the worker re-derives grid points and
+    algorithm instances locally, so units stay tiny on the wire.
+    """
+
+    config: SweepConfig
+    bucket: float
+    algorithms: tuple[str, ...]
+
+
+def decompose_sweep(
+    config: SweepConfig, algorithm_names: Sequence[str]
+) -> list[WorkUnit]:
+    """Split a sweep into independent per-bucket work units, ascending."""
+    names = tuple(algorithm_names)
+    for name in names:
+        get_algorithm(name)  # fail fast on typos, before any worker spawns
+    sweep = AcceptanceSweep(config)
+    return [
+        WorkUnit(config=config, bucket=bucket, algorithms=names)
+        for bucket in sweep.bucket_points()
+    ]
+
+
+def run_unit(unit: WorkUnit) -> BucketOutcome:
+    """Execute one work unit (in this process).
+
+    Deterministic in the unit alone — the pool relies on this both for
+    order-independent merging and for content-addressed caching.
+    """
+    sweep = AcceptanceSweep(unit.config)
+    points = sweep.bucket_points().get(unit.bucket)
+    if points is None:
+        raise ValueError(
+            f"bucket {unit.bucket!r} is not part of the sweep grid for "
+            f"config {unit.config!r}"
+        )
+    algorithms = [get_algorithm(name) for name in unit.algorithms]
+    return sweep.run_bucket(unit.bucket, points, algorithms)

@@ -219,14 +219,14 @@ class UniprocessorSim:
             ]
             if future_deadlines:
                 stops.append(min(future_deadlines))
-            next_time = min(min(stops), horizon + 1)
+            # Clamp to the horizon: work (and hence completions or mode
+            # switches) past the end of the window must not be accounted.
+            next_time = min(min(stops), horizon)
             if next_time <= time:
                 next_time = time + 1  # safety: always make progress
 
             if result.trace is not None:
-                result.trace.record(
-                    time, min(next_time, horizon), job.task.name, high_mode
-                )
+                result.trace.record(time, next_time, job.task.name, high_mode)
             job.executed += next_time - time
             time = next_time
 

@@ -1,9 +1,10 @@
-"""Shared utilities: integer math, ASCII tables, RNG handling.
+"""Shared utilities: integer math, ASCII tables, RNG and env-knob handling.
 
 These helpers are deliberately dependency-light; every other subpackage may
 import from here without creating cycles.
 """
 
+from repro.util.env import m_values_from_env, positive_int_env, samples_from_env
 from repro.util.intmath import (
     ceil_div,
     floor_div,
@@ -23,4 +24,7 @@ __all__ = [
     "derive_rng",
     "spawn_seed",
     "format_table",
+    "positive_int_env",
+    "samples_from_env",
+    "m_values_from_env",
 ]

@@ -1,0 +1,62 @@
+"""Validated parsing of the repo-wide environment knobs.
+
+Two knobs control experiment scale everywhere (figures, benchmarks, CI):
+
+* ``REPRO_SAMPLES`` — task sets per ``UB`` bucket (the paper used 1000).
+* ``REPRO_M`` — comma-separated processor counts (the paper swept 2,4,8).
+
+This module is the single parsing/validation point; both
+:func:`repro.experiments.figures.default_samples` and the benchmark
+harness delegate here so a malformed knob fails the same way everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["positive_int_env", "samples_from_env", "m_values_from_env"]
+
+
+def positive_int_env(name: str, fallback: int) -> int:
+    """Read a positive integer from the environment, or ``fallback``.
+
+    Raises :class:`ValueError` for non-integer or non-positive values —
+    a silent fallback would make a typo look like a tiny run.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def samples_from_env(fallback: int = 100) -> int:
+    """Samples per ``UB`` bucket: ``REPRO_SAMPLES`` or ``fallback``."""
+    return positive_int_env("REPRO_SAMPLES", fallback)
+
+
+def m_values_from_env(fallback: tuple[int, ...] = (2, 4, 8)) -> tuple[int, ...]:
+    """Processor counts to sweep: ``REPRO_M`` (comma-separated) or ``fallback``."""
+    raw = os.environ.get("REPRO_M", "")
+    if not raw:
+        return fallback
+    values = []
+    for part in raw.split(","):
+        part = part.strip()
+        try:
+            value = int(part)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_M must be comma-separated integers, got {raw!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"REPRO_M entries must be positive, got {value}")
+        values.append(value)
+    if not values:
+        raise ValueError(f"REPRO_M must name at least one processor count, got {raw!r}")
+    return tuple(values)

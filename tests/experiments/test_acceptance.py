@@ -1,5 +1,7 @@
 """Unit tests for the acceptance-ratio sweep harness."""
 
+import pytest
+
 from repro.experiments import AcceptanceSweep, SweepConfig, get_algorithm
 from repro.generator import UtilizationGrid
 
@@ -58,10 +60,35 @@ class TestSweep:
         loss = result.max_improvement("ca-nosort-f-f-edf-vd", "cu-udp-edf-vd")
         assert gain >= 0.0 or loss >= 0.0  # at least one direction non-negative
 
+    def test_unknown_algorithm_error_lists_known_ones(self):
+        result = run_small()
+        with pytest.raises(KeyError, match="unknown algorithm 'nope'") as exc:
+            result.ratio_curve("nope")
+        assert "cu-udp-edf-vd" in str(exc.value)
+        with pytest.raises(KeyError, match="this sweep ran"):
+            result.max_improvement("cu-udp-edf-vd", "also-nope")
+
     def test_ratio_curve_pairs(self):
         result = run_small()
         curve = result.ratio_curve("cu-udp-edf-vd")
         assert [ub for ub, _ in curve] == result.buckets
+
+
+class TestMergeOutcomes:
+    def test_shard_order_is_irrelevant(self):
+        from repro.experiments import BucketOutcome, merge_outcomes
+
+        config = SweepConfig(label="merge", m=2, samples_per_bucket=1)
+        outcomes = [
+            BucketOutcome(bucket=0.6, samples=3, ratios={"a": 0.5}),
+            BucketOutcome(bucket=0.2, samples=3, ratios={"a": 1.0}),
+            BucketOutcome(bucket=0.4, samples=0, ratios={}),  # infeasible
+        ]
+        merged = merge_outcomes(config, ["a"], outcomes)
+        reversed_merge = merge_outcomes(config, ["a"], outcomes[::-1])
+        assert merged == reversed_merge
+        assert merged.buckets == [0.2, 0.6]  # empty bucket dropped, sorted
+        assert merged.ratios == {"a": [1.0, 0.5]}
 
 
 class TestTasksetProvisioning:

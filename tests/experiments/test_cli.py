@@ -116,6 +116,60 @@ class TestFigure:
         out = capsys.readouterr().out
         assert "cu-udp-edf-vd" in out
 
+    def test_parallel_run_with_cache_and_output(self, capsys, tmp_path):
+        args = [
+            "figure", "fig3", "--samples", "2", "--m", "2",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "-o", str(tmp_path / "fig3.json"),
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert (tmp_path / "fig3.json").exists()
+        # rerun answers from cache and renders the same tables
+        assert main(args) == 0
+        assert capsys.readouterr().out == serial_out
+
+
+class TestCampaign:
+    def test_campaign_runs_and_resumes(self, capsys, tmp_path):
+        args = [
+            "campaign", "--figures", "fig3", "--samples", "2",
+            "--out", str(tmp_path / "out"), "--no-progress",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 from cache" in first
+        assert (tmp_path / "out" / "fig3.json").exists()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 shards computed" in second
+
+    def test_spec_file_campaign(self, capsys, tmp_path):
+        spec = {
+            "name": "from-file",
+            "figures": [{"figure": "fig3", "samples": 1, "m_values": [2]}],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        code = main(
+            [
+                "campaign", str(spec_path),
+                "--out", str(tmp_path / "out"), "--no-progress",
+            ]
+        )
+        assert code == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_spec_and_figures_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign", "spec.json", "--figures", "fig3",
+                    "--out", str(tmp_path), "--no-progress",
+                ]
+            )
+
 
 class TestParser:
     def test_requires_command(self):

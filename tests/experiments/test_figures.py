@@ -8,6 +8,7 @@ from repro.experiments.figures import (
     FIG45_ALGORITHMS,
     FIG6B_ALGORITHMS,
     default_samples,
+    figure_plan,
 )
 
 
@@ -32,6 +33,29 @@ class TestFigureConfigs:
     def test_run_figure_unknown(self):
         with pytest.raises(KeyError, match="known"):
             run_figure("fig7")
+
+
+class TestFigurePlan:
+    def test_acceptance_plan_one_sweep_per_m(self):
+        plan = figure_plan("fig3", samples=2, m_values=(2, 4))
+        assert [job.key for job in plan] == ["m=2", "m=4"]
+        assert all(job.algorithms == FIG3_ALGORITHMS for job in plan)
+        assert all(job.war_key is None for job in plan)
+        assert plan[0].config.samples_per_bucket == 2
+
+    def test_war_plan_carries_war_keys(self):
+        plan = figure_plan("fig6a", samples=1, ph_values=(0.3, 0.7), m_values=(2,))
+        assert [job.war_key for job in plan] == [(2, 0.3), (2, 0.7)]
+        assert all(job.config.p_high == job.war_key[1] for job in plan)
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError, match="known"):
+            figure_plan("fig7")
+
+    def test_env_default_reaches_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "9")
+        plan = figure_plan("fig4", m_values=(2,))
+        assert plan[0].config.samples_per_bucket == 9
 
 
 class TestDefaultSamples:

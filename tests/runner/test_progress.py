@@ -1,0 +1,92 @@
+"""Progress reporter: counters, ETA math, rendering."""
+
+import io
+
+from repro.runner import ProgressReporter, format_eta
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(label="test"):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        stream=stream, label=label, min_interval=0.0, clock=clock
+    )
+    return reporter, stream, clock
+
+
+class TestFormatEta:
+    def test_scales(self):
+        assert format_eta(42) == "42s"
+        assert format_eta(190) == "3m10s"
+        assert format_eta(7500) == "2h05m"
+        assert format_eta(-5) == "0s"
+
+
+class TestReporter:
+    def test_counts_and_cached(self):
+        reporter, _, _ = make()
+        reporter.add_total(3)
+        reporter.unit_done()
+        reporter.unit_done(cached=True)
+        assert (reporter.completed, reporter.total, reporter.cached) == (2, 3, 1)
+
+    def test_eta_scales_elapsed_by_remaining(self):
+        reporter, _, clock = make()
+        reporter.add_total(4)
+        clock.now = 10.0
+        reporter.unit_done()
+        # 1 of 4 shards took 10s -> 3 remain -> 30s
+        assert reporter.eta_seconds() == 30.0
+
+    def test_eta_none_before_any_completion(self):
+        reporter, _, _ = make()
+        reporter.add_total(2)
+        assert reporter.eta_seconds() is None
+
+    def test_incremental_totals(self):
+        reporter, _, _ = make()
+        reporter.add_total(2)
+        reporter.add_total(3)
+        assert reporter.total == 5
+
+    def test_status_line_mentions_progress_and_cache(self):
+        reporter, _, clock = make(label="fig3")
+        reporter.add_total(2)
+        clock.now = 5.0
+        reporter.unit_done(cached=True)
+        line = reporter.status_line()
+        assert "fig3: 1/2 shards" in line
+        assert "1 cached" in line
+        assert "eta" in line
+
+    def test_finish_terminates_the_line(self):
+        reporter, stream, _ = make()
+        reporter.add_total(1)
+        reporter.unit_done()
+        reporter.finish()
+        text = stream.getvalue()
+        assert text.endswith("\n")
+        assert "1/1 shards" in text
+        assert "done in" in text
+
+    def test_render_throttled_by_min_interval(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream, min_interval=10.0, clock=clock
+        )
+        reporter.add_total(5)
+        first_len = len(stream.getvalue())
+        reporter.unit_done()  # within the interval -> no re-render
+        assert len(stream.getvalue()) == first_len
+        clock.now = 11.0
+        reporter.unit_done()
+        assert len(stream.getvalue()) > first_len

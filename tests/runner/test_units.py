@@ -1,0 +1,56 @@
+"""Work-unit decomposition and single-shard execution."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.acceptance import AcceptanceSweep, SweepConfig
+from repro.experiments.algorithms import get_algorithm
+from repro.runner import WorkUnit, decompose_sweep, run_unit
+
+CONFIG = SweepConfig(label="unit-test", m=2, samples_per_bucket=3)
+ALGOS = ("cu-udp-edf-vd", "ca-f-f-ey")
+
+
+class TestDecompose:
+    def test_one_unit_per_swept_bucket(self):
+        units = decompose_sweep(CONFIG, ALGOS)
+        expected = list(AcceptanceSweep(CONFIG).bucket_points())
+        assert [u.bucket for u in units] == expected
+        assert all(u.config == CONFIG and u.algorithms == ALGOS for u in units)
+
+    def test_respects_ub_range(self):
+        narrow = SweepConfig(
+            label="unit-test", m=2, samples_per_bucket=3, ub_min=0.4, ub_max=0.6
+        )
+        buckets = [u.bucket for u in decompose_sweep(narrow, ALGOS)]
+        assert buckets
+        assert all(0.4 <= b <= 0.6 for b in buckets)
+
+    def test_unknown_algorithm_fails_fast(self):
+        with pytest.raises(KeyError):
+            decompose_sweep(CONFIG, ("no-such-algorithm",))
+
+    def test_units_are_picklable(self):
+        unit = decompose_sweep(CONFIG, ALGOS)[0]
+        assert pickle.loads(pickle.dumps(unit)) == unit
+
+
+class TestRunUnit:
+    def test_matches_in_process_bucket_run(self):
+        unit = decompose_sweep(CONFIG, ALGOS)[5]
+        sweep = AcceptanceSweep(CONFIG)
+        points = sweep.bucket_points()[unit.bucket]
+        direct = sweep.run_bucket(
+            unit.bucket, points, [get_algorithm(n) for n in ALGOS]
+        )
+        assert run_unit(unit) == direct
+
+    def test_deterministic_across_calls(self):
+        unit = decompose_sweep(CONFIG, ALGOS)[3]
+        assert run_unit(unit) == run_unit(unit)
+
+    def test_bucket_outside_grid_rejected(self):
+        unit = WorkUnit(config=CONFIG, bucket=123.0, algorithms=ALGOS)
+        with pytest.raises(ValueError, match="not part of the sweep grid"):
+            run_unit(unit)

@@ -113,6 +113,19 @@ class TestModeSwitch:
         assert result.mode_switches == []
         assert result.mc_correct  # U_HI = 0.4, trivially fine
 
+    def test_no_switch_recorded_past_horizon(self):
+        # Regression: a job whose C_L boundary falls one tick past the
+        # horizon used to record a mode switch at horizon + 1 (and be
+        # credited execution outside the window).  Job 1 releases at t=10
+        # and would cross wcet_lo at t=12; with horizon 11 the run must
+        # stop at 11 with only the in-window switch (t=2) recorded.
+        h = hc_task(10, 2, 3)
+        sim = UniprocessorSim(TaskSet([h]), EDFVDPolicy(0.8))
+        result = sim.run(FixedOverrunScenario({h.task_id}), horizon=11)
+        assert result.mode_switches == [2]
+        assert all(0 < s <= 11 for s in result.mode_switches)
+        assert result.jobs_completed == 1  # job 1's work past t=11 not counted
+
 
 class TestMissDetection:
     def test_miss_recorded_at_deadline_instant(self):

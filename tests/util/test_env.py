@@ -1,0 +1,37 @@
+"""Validated env-knob parsing (REPRO_SAMPLES / REPRO_M)."""
+
+import pytest
+
+from repro.util.env import m_values_from_env, positive_int_env, samples_from_env
+
+
+class TestPositiveIntEnv:
+    def test_fallback_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLES", raising=False)
+        assert positive_int_env("REPRO_SAMPLES", 42) == 42
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "1000")
+        assert samples_from_env() == 1000
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "ten", "3.5"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SAMPLES", bad)
+        with pytest.raises(ValueError, match="REPRO_SAMPLES"):
+            samples_from_env()
+
+
+class TestMValues:
+    def test_fallback_is_paper_sweep(self, monkeypatch):
+        monkeypatch.delenv("REPRO_M", raising=False)
+        assert m_values_from_env() == (2, 4, 8)
+
+    def test_parses_csv_with_spaces(self, monkeypatch):
+        monkeypatch.setenv("REPRO_M", "2, 4")
+        assert m_values_from_env() == (2, 4)
+
+    @pytest.mark.parametrize("bad", ["0", "2,-4", "two", ","])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_M", bad)
+        with pytest.raises(ValueError, match="REPRO_M"):
+            m_values_from_env()
