@@ -1,0 +1,118 @@
+"""From-scratch vs incremental ``partition()`` on an ECDF sweep slice.
+
+The partitioning hot loop runs the uniprocessor test once per (task,
+candidate core) probe; PR 2 introduced per-core analysis contexts so those
+probes reuse utilization accumulators and memoized dbf state instead of
+rebuilding everything.  This benchmark drives both paths over the same
+Figure-5 slice (constrained deadlines, PH = 0.5 — the configuration whose
+admission test, ECDF, is the most expensive in the suite) across the
+paper's processor sweep, asserts the two paths stay bit-identical, and
+records the speedup trajectory in ``BENCH_partition.json`` (uploaded as a
+CI artifact).
+
+Scale knobs: ``REPRO_SAMPLES`` (task sets per UB bucket, default 10) and
+``REPRO_M`` (processor counts, default ``2,4,8``).  At paper-scale
+parameters the incremental path is >= 3x faster in aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import get_algorithm
+from repro.experiments.acceptance import AcceptanceSweep, SweepConfig
+
+from conftest import RESULTS_DIR, bench_m_values, bench_samples, emit
+
+#: The slice mirrors Figure 5's mid-to-high load region, where admission
+#: probes actually exercise the demand analysis (below it everything is
+#: schedulable at a glance; far above it the utilization pre-screen
+#: settles probes in O(1) for both paths).
+UB_RANGE = (0.4, 1.0)
+
+
+def slice_tasksets(m: int, samples: int):
+    config = SweepConfig(
+        label="fig5", m=m, deadline_type="constrained", samples_per_bucket=samples
+    )
+    sweep = AcceptanceSweep(config)
+    tasksets = []
+    for bucket, points in sorted(sweep.bucket_points().items()):
+        if UB_RANGE[0] <= bucket <= UB_RANGE[1]:
+            tasksets.extend(sweep.tasksets_for_bucket(bucket, points))
+    return tasksets
+
+
+def time_partitions(algorithm, tasksets, m: int, incremental: bool, repeats: int = 3):
+    """Best-of-N CPU time plus the partition results (for parity checks)."""
+    best = None
+    results = None
+    for _ in range(repeats):
+        start = time.process_time()
+        current = [
+            algorithm.partition(ts, m, incremental=incremental) for ts in tasksets
+        ]
+        elapsed = time.process_time() - start
+        if best is None or elapsed < best:
+            best, results = elapsed, current
+    return best, results
+
+
+@pytest.mark.parametrize("m", bench_m_values())
+@pytest.mark.parametrize("incremental", [False, True], ids=["from-scratch", "incremental"])
+def test_bench_partition_ecdf(benchmark, m, incremental):
+    """Per-mode wall-time samples for pytest-benchmark's own reporting."""
+    algorithm = get_algorithm("cu-udp-ecdf")
+    tasksets = slice_tasksets(m, bench_samples())
+    result = benchmark.pedantic(
+        lambda: [
+            algorithm.partition(ts, m, incremental=incremental) for ts in tasksets
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == len(tasksets)
+
+
+def test_bench_partition_speedup_report():
+    """Parity + speedup summary; emits the BENCH_partition.json artifact."""
+    algorithm = get_algorithm("cu-udp-ecdf")
+    samples = bench_samples()
+    report = {"algorithm": "cu-udp-ecdf", "samples_per_bucket": samples, "m": {}}
+    total_scratch = total_incremental = 0.0
+    lines = ["m    tasksets   from-scratch   incremental   speedup"]
+    for m in bench_m_values():
+        tasksets = slice_tasksets(m, samples)
+        t_inc, r_inc = time_partitions(algorithm, tasksets, m, incremental=True)
+        t_fs, r_fs = time_partitions(algorithm, tasksets, m, incremental=False)
+        for fast, slow in zip(r_inc, r_fs, strict=True):
+            assert fast.success == slow.success
+            assert fast.assignment == slow.assignment
+            assert fast.cores == slow.cores
+        total_scratch += t_fs
+        total_incremental += t_inc
+        report["m"][str(m)] = {
+            "tasksets": len(tasksets),
+            "from_scratch_s": round(t_fs, 4),
+            "incremental_s": round(t_inc, 4),
+            "speedup": round(t_fs / t_inc, 3),
+        }
+        lines.append(
+            f"{m:<6}{len(tasksets):<11}{t_fs:>10.3f}s {t_inc:>12.3f}s "
+            f"{t_fs / t_inc:>8.2f}x"
+        )
+    aggregate = total_scratch / total_incremental
+    report["aggregate_speedup"] = round(aggregate, 3)
+    lines.append(f"aggregate speedup: {aggregate:.2f}x")
+    emit("BENCH_partition", "\n".join(lines))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_partition.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    # Regression tripwire: the incremental path must stay clearly ahead at
+    # any scale (>= 3x at paper-scale parameters; the floor here is kept
+    # below that so small CI slices on noisy runners don't flake).
+    assert aggregate >= 2.0, f"incremental speedup regressed: {aggregate:.2f}x"

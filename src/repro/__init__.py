@@ -38,6 +38,7 @@ from repro.model import (
 from repro.analysis import (
     AMCmaxTest,
     AMCrtbTest,
+    AnalysisContext,
     AnalysisResult,
     ECDFTest,
     EDFTest,
@@ -51,6 +52,7 @@ from repro.analysis import (
 from repro.core import (
     PartitionResult,
     PartitioningStrategy,
+    UnsupportedTasksetError,
     bfd,
     ca_f_f,
     ca_nosort_f_f,
@@ -89,6 +91,7 @@ __all__ = [
     # analysis
     "AMCmaxTest",
     "AMCrtbTest",
+    "AnalysisContext",
     "AnalysisResult",
     "ECDFTest",
     "EDFTest",
@@ -101,6 +104,7 @@ __all__ = [
     # core
     "PartitionResult",
     "PartitioningStrategy",
+    "UnsupportedTasksetError",
     "partition",
     "ca_udp",
     "cu_udp",

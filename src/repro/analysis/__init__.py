@@ -20,9 +20,21 @@ Available tests:
 * :class:`~repro.analysis.amc.AMCrtbTest` /
   :class:`~repro.analysis.amc.AMCmaxTest` — fixed-priority adaptive
   mixed-criticality response-time analyses (RTSS 2011).
+
+Tests that admit incremental evaluation also provide a per-core
+:class:`~repro.analysis.context.AnalysisContext`
+(``test.make_context()``), the stateful probe/commit layer the
+partitioning hot loop drives; see :mod:`repro.analysis.context` for the
+protocol and its bit-identical-verdicts contract.
 """
 
 from repro.analysis.amc import AMCmaxTest, AMCrtbTest
+from repro.analysis.context import (
+    AMCContext,
+    AnalysisContext,
+    DemandContext,
+    EDFVDContext,
+)
 from repro.analysis.ecdf import ECDFTest
 from repro.analysis.edf import EDFTest
 from repro.analysis.edf_vd import EDFVDTest, edfvd_scaling_factor
@@ -41,7 +53,11 @@ __all__ = [
     "EDFTest",
     "EDFVDTest",
     "EYTest",
+    "AMCContext",
+    "AnalysisContext",
     "AnalysisResult",
+    "DemandContext",
+    "EDFVDContext",
     "SchedulabilityTest",
     "edfvd_scaling_factor",
     "get_test",

@@ -202,6 +202,18 @@ class _AMCBase(SchedulabilityTest):
                 )
         return AnalysisResult(True, priorities=priority_map(order))
 
+    def make_context(self):
+        """Incremental context memoizing per-level RTA verdicts (DM only).
+
+        OPA re-derives the whole priority order per candidate, so it keeps
+        the from-scratch path (None disables the incremental route).
+        """
+        if self.priority_policy != "dm":
+            return None
+        from repro.analysis.context import AMCContext
+
+        return AMCContext(self)
+
 
 class AMCrtbTest(_AMCBase):
     """AMC with the release-time-bound (rtb) HI-mode recurrence."""

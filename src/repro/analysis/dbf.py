@@ -386,6 +386,20 @@ class LoShrinkProbe:
         jobs = np.where(x >= 0, x // task.period + 1, 0)
         if np.any(jobs * task.wcet_lo > self._slack_o):
             return False
+        return self._own_feasible(virtual_deadline)
+
+    def _own_feasible(self, virtual_deadline: int) -> bool:
+        """The own-breakpoint half of :meth:`feasible`.
+
+        Callers that already know the other-breakpoint half holds (its
+        per-point bounds invert in closed form and are monotone in the
+        deadline) may query this directly; ``feasible`` is the conjunction.
+        """
+        task = self._task
+        if self._infeasible_always:
+            return False
+        if self._horizon == 0:
+            return True
         # Check at the probed task's own breakpoints (its demand steps up
         # there; the other tasks' demand is a step function evaluated by
         # rank lookup against their precomputed breakpoints).

@@ -30,7 +30,7 @@ from repro.analysis.interface import (
     SchedulabilityTest,
     register_test,
 )
-from repro.analysis.vdtuning import tune_virtual_deadlines
+from repro.analysis.vdtuning import run_tuning_stages
 
 __all__ = ["ECDFTest"]
 
@@ -48,36 +48,33 @@ class ECDFTest(SchedulabilityTest):
         self.horizon_cap = horizon_cap
         self.fallback_to_steepest = fallback_to_steepest
 
+    @property
+    def stages(self) -> tuple[tuple[str, bool], ...]:
+        """The ``(policy, refine)`` fallback chain of this test.
+
+        The greedy rule can occasionally descend into a corner the steepest
+        rule avoids; on rejection the chain retries with the refined
+        steepest descent, then with EY's exact descent path
+        (``refine=False``), which makes ECDF's acceptance region a superset
+        of EY's by construction.
+        """
+        if not self.fallback_to_steepest:
+            return (("ratio", True),)
+        return (("ratio", True), ("steepest", True), ("steepest", False))
+
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
-        outcome = tune_virtual_deadlines(
-            taskset,
-            policy="ratio",
-            refine=True,
-            horizon_cap=self.horizon_cap,
-        )
-        if not outcome.schedulable and self.fallback_to_steepest:
-            # The greedy rule can occasionally descend into a corner the
-            # steepest rule avoids; retry with the refined steepest descent,
-            # then with EY's exact descent path (refine=False), which makes
-            # ECDF's acceptance region a superset of EY's by construction.
-            outcome = tune_virtual_deadlines(
-                taskset,
-                policy="steepest",
-                refine=True,
-                horizon_cap=self.horizon_cap,
-            )
-            if not outcome.schedulable:
-                outcome = tune_virtual_deadlines(
-                    taskset,
-                    policy="steepest",
-                    refine=False,
-                    horizon_cap=self.horizon_cap,
-                )
+        outcome = run_tuning_stages(taskset, self.stages, self.horizon_cap)
         return AnalysisResult(
             outcome.schedulable,
             virtual_deadlines=dict(outcome.virtual_deadlines),
             detail=outcome.detail,
         )
+
+    def make_context(self):
+        """Incremental context sharing dbf work across probes and stages."""
+        from repro.analysis.context import DemandContext
+
+        return DemandContext(self, self.stages, self.horizon_cap)
 
 
 register_test("ecdf", ECDFTest)

@@ -32,7 +32,12 @@ from repro.analysis.interface import (
     register_test,
 )
 
-__all__ = ["EDFVDTest", "edfvd_admits", "edfvd_scaling_factor"]
+__all__ = [
+    "EDFVDTest",
+    "edfvd_admits",
+    "edfvd_scaling_factor",
+    "scaling_factor_from_sums",
+]
 
 _EPS = 1e-9
 
@@ -50,7 +55,7 @@ def edfvd_admits(u_ll: float, u_lh: float, u_hh: float) -> bool:
     a, b, c = u_ll, u_lh, u_hh
     if min(a, b, c) < -_EPS:
         raise ValueError(f"utilizations must be non-negative: {(a, b, c)}")
-    if b > c + 1e-6:
+    if b > c + _EPS:
         raise ValueError(f"U_LH ({b}) exceeds U_HH ({c}); violates C_L <= C_H")
     if a + c <= 1.0 + _EPS:
         return True
@@ -64,6 +69,22 @@ def edfvd_admits(u_ll: float, u_lh: float, u_hh: float) -> bool:
     return x * a + c <= 1.0 + _EPS
 
 
+def scaling_factor_from_sums(u_ll: float, u_lh: float, u_hh: float) -> float:
+    """:func:`edfvd_scaling_factor` on raw per-core sums.
+
+    Shared by the :class:`TaskSet` wrapper below and the incremental
+    :class:`~repro.analysis.context.EDFVDContext`, which maintains the sums
+    as running accumulators; keeping one arithmetic path guarantees both
+    produce the identical float.
+    """
+    a, b, c = u_ll, u_lh, u_hh
+    if not edfvd_admits(a, b, c):
+        raise ValueError("task set fails the EDF-VD test; no valid scaling factor")
+    if a + c <= 1.0 + _EPS or b == 0:
+        return 1.0
+    return min(1.0, b / (1.0 - a))
+
+
 def edfvd_scaling_factor(taskset: TaskSet) -> float:
     """Deadline-scaling factor ``x`` the runtime should apply.
 
@@ -72,12 +93,7 @@ def edfvd_scaling_factor(taskset: TaskSet) -> float:
     (there is no correct scaling factor to return).
     """
     util = taskset.utilization
-    a, b, c = util.u_ll, util.u_lh, util.u_hh
-    if not edfvd_admits(a, b, c):
-        raise ValueError("task set fails the EDF-VD test; no valid scaling factor")
-    if a + c <= 1.0 + _EPS or b == 0:
-        return 1.0
-    return min(1.0, b / (1.0 - a))
+    return scaling_factor_from_sums(util.u_ll, util.u_lh, util.u_hh)
 
 
 class EDFVDTest(SchedulabilityTest):
@@ -88,6 +104,16 @@ class EDFVDTest(SchedulabilityTest):
     def supports(self, taskset: TaskSet) -> bool:
         """EDF-VD's utilization test requires implicit deadlines."""
         return taskset.is_implicit_deadline
+
+    def supports_deadline_type(self, deadline_type: str) -> bool:
+        """Only implicit-deadline sweeps can pair with EDF-VD."""
+        return deadline_type == "implicit"
+
+    def make_context(self):
+        """O(1)-probe incremental context over running utilization sums."""
+        from repro.analysis.context import EDFVDContext
+
+        return EDFVDContext(self)
 
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
         if not taskset.is_implicit_deadline:

@@ -24,9 +24,12 @@ from repro.analysis.interface import (
     SchedulabilityTest,
     register_test,
 )
-from repro.analysis.vdtuning import tune_virtual_deadlines
+from repro.analysis.vdtuning import run_tuning_stages
 
 __all__ = ["EYTest"]
+
+#: EY is a single-stage tuning chain: steepest descent, no refinement.
+_EY_STAGES: tuple[tuple[str, bool], ...] = (("steepest", False),)
 
 
 class EYTest(SchedulabilityTest):
@@ -38,17 +41,18 @@ class EYTest(SchedulabilityTest):
         self.horizon_cap = horizon_cap
 
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
-        outcome = tune_virtual_deadlines(
-            taskset,
-            policy="steepest",
-            refine=False,
-            horizon_cap=self.horizon_cap,
-        )
+        outcome = run_tuning_stages(taskset, _EY_STAGES, self.horizon_cap)
         return AnalysisResult(
             outcome.schedulable,
             virtual_deadlines=dict(outcome.virtual_deadlines),
             detail=outcome.detail,
         )
+
+    def make_context(self):
+        """Incremental context sharing dbf work across per-core probes."""
+        from repro.analysis.context import DemandContext
+
+        return DemandContext(self, _EY_STAGES, self.horizon_cap)
 
 
 register_test("ey", EYTest)

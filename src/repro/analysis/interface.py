@@ -77,6 +77,28 @@ class SchedulabilityTest(abc.ABC):
         """
         return taskset.is_constrained_deadline
 
+    def supports_deadline_type(self, deadline_type: str) -> bool:
+        """Whether the test can analyze task sets of ``deadline_type``.
+
+        ``deadline_type`` uses the generator vocabulary (``"implicit"`` or
+        ``"constrained"``); sweep/campaign setup uses this to reject an
+        unsupported (algorithm, deadline type) pairing before any task set
+        is generated, instead of failing mid-campaign.
+        """
+        return deadline_type in ("implicit", "constrained")
+
+    def make_context(self) -> "AnalysisContext | None":
+        """A fresh incremental per-core analysis context, or None.
+
+        Tests that admit incremental evaluation return a new
+        :class:`~repro.analysis.context.AnalysisContext` whose
+        probe/commit verdicts are bit-identical to :meth:`analyze` on the
+        rebuilt task set; tests without one return None and partitioning
+        falls back to the from-scratch path (see
+        :func:`repro.core.allocator.partition`).
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 

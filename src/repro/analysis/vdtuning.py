@@ -32,16 +32,41 @@ Policies (see DESIGN.md §5 for fidelity notes):
 HI-demand of a task is monotonically non-increasing in ``Dv`` shrinkage, so
 the minimal sufficient shrink is found by binary search with scalar dbf
 evaluations.
+
+Evaluation layer
+----------------
+All dbf queries the descent issues go through a :class:`DemandEngine`.  A
+fresh engine (the default) reproduces the historical from-scratch behavior.
+When constructed with a shared ``memo`` dict — as done by the incremental
+:class:`~repro.analysis.context.DemandContext` used in partitioning hot
+loops — results of the *pure* scenario queries (LO/HI violations, shrink
+searches, :class:`~repro.analysis.dbf.LoShrinkProbe` instances) are reused
+across repeated evaluations.  Every memoized value is keyed by the exact
+task parameters and virtual deadlines it was computed from, so reuse is an
+identity-preserving optimization: verdicts, virtual deadlines and detail
+strings are bit-identical with or without a memo.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model import MCTask, TaskSet
-from repro.analysis.dbf import DemandScenario, HorizonExceeded, hi_mode_dbf
+import numpy as np
 
-__all__ = ["TuningOutcome", "tune_virtual_deadlines"]
+from repro.model import MCTask, TaskSet
+from repro.analysis.dbf import (
+    DemandScenario,
+    HorizonExceeded,
+    _ModeTask,
+    hi_mode_dbf,
+)
+
+__all__ = [
+    "DemandEngine",
+    "TuningOutcome",
+    "tune_virtual_deadlines",
+    "run_tuning_stages",
+]
 
 #: Hard cap on descent iterations per analysis (each iteration makes at
 #: least one unit of demand progress at the current violation; the cap only
@@ -57,19 +82,6 @@ class TuningOutcome:
     virtual_deadlines: dict[int, int]
     iterations: int
     detail: str = ""
-
-
-def _scenario(
-    taskset: TaskSet, vd: dict[int, int], horizon_cap: int
-) -> DemandScenario:
-    return DemandScenario(taskset, vd, horizon_cap=horizon_cap)
-
-
-def _lo_feasible(taskset: TaskSet, vd: dict[int, int], horizon_cap: int) -> bool:
-    try:
-        return _scenario(taskset, vd, horizon_cap).lo_violation() is None
-    except HorizonExceeded:
-        return False
 
 
 def _hi_gain(task: MCTask, vd_now: int, shrink: int, length: int) -> int:
@@ -123,36 +135,588 @@ def _shrink_to_clear(
     return lo
 
 
-def _max_lo_feasible_shrink(
-    taskset: TaskSet,
-    vd: dict[int, int],
-    task: MCTask,
-    desired: int,
-    horizon_cap: int,
-) -> int:
-    """Largest shrink ``<= desired`` keeping the LO-mode check feasible.
+def _window_points(
+    tasks, horizon: int, lo: int, hi: int, ramps: bool
+) -> np.ndarray:
+    """Breakpoints of ``tasks`` in ``[lo, hi)`` ∩ ``[0, horizon]``, sorted.
 
-    LO demand grows monotonically with the shrink, so feasibility is a
-    prefix property and binary search applies.  Probes go through
-    :class:`~repro.analysis.dbf.LoShrinkProbe`, which precomputes the other
-    tasks' demand once instead of rebuilding the whole scenario per probe.
+    Produces exactly the slice of :meth:`DemandScenario._breakpoints`
+    (same multiset, same appended horizon point) that falls inside the
+    window, without materializing the other windows — the windowed
+    violation scan below tiles the axis with these.
     """
-    try:
-        probe = _scenario(taskset, vd, horizon_cap).lo_shrink_probe(task)
-    except HorizonExceeded:
-        return 0
-    base = vd[task.task_id]
+    top = min(hi - 1, horizon)
+    families = []
+    for t in tasks:
+        if t.deadline > horizon:
+            continue
+        k0 = 0 if t.deadline >= lo else -((t.deadline - lo) // t.period)
+        if t.deadline + k0 * t.period <= top:
+            families.append(
+                np.arange(
+                    t.deadline + k0 * t.period, top + 1, t.period, dtype=np.int64
+                )
+            )
+        if ramps and t.wcet_lo > 0:
+            offset = t.deadline + min(t.wcet_lo, t.period)
+            k0 = 0 if offset >= lo else -((offset - lo) // t.period)
+            first = offset + k0 * t.period
+            if first <= min(top, horizon):
+                families.append(
+                    np.arange(first, min(top, horizon) + 1, t.period, dtype=np.int64)
+                )
+    if lo <= horizon < hi:
+        families.append(np.asarray([horizon], dtype=np.int64))
+    if not families:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(families))
 
-    if probe.feasible(base - desired):
-        return desired
-    lo, hi = 0, desired - 1
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if probe.feasible(base - mid):
-            lo = mid
+
+def _hi_demand_columns(tasks: list[_ModeTask]) -> tuple[np.ndarray, ...]:
+    """Per-task parameter columns for the 2D HI demand evaluation."""
+    deadline = np.array([t.deadline for t in tasks], dtype=np.int64)[:, None]
+    period = np.array([t.period for t in tasks], dtype=np.int64)[:, None]
+    wcet = np.array([t.wcet for t in tasks], dtype=np.int64)[:, None]
+    wcet_lo = np.array([t.wcet_lo for t in tasks], dtype=np.int64)[:, None]
+    return deadline, period, wcet, wcet_lo
+
+
+def _hi_demand_2d(
+    columns: tuple[np.ndarray, ...], points: np.ndarray, refine: bool
+) -> np.ndarray:
+    """:meth:`DemandScenario._hi_demand` vectorized across tasks.
+
+    Same integer arithmetic on a (tasks × points) grid — the per-point
+    totals and the refinement min are sums/minima of the identical int64
+    terms, so the result array equals the per-task loop's exactly.
+    """
+    deadline, period, wcet, wcet_lo = columns
+    x = points[None, :] - deadline
+    active = x >= 0
+    xa = np.where(active, x, 0)
+    jobs = xa // period + 1
+    residue = xa % period
+    reduction = np.maximum(0, wcet_lo - residue)
+    total = np.where(active, jobs * wcet - reduction, 0).sum(axis=0)
+    if refine:
+        total -= np.where(active, np.minimum(wcet_lo, residue), 0).min(axis=0)
+    return total
+
+
+def _hi_point_demand(tasks: list[_ModeTask], length: int, refine: bool) -> int:
+    """Scalar transcription of :meth:`DemandScenario._hi_demand` for one
+    point (same integer terms, same inactive-task-zero refinement min)."""
+    total = 0
+    min_cut = None
+    for mode_task in tasks:
+        x = length - mode_task.deadline
+        if x >= 0:
+            residue = x % mode_task.period
+            total += (x // mode_task.period + 1) * mode_task.wcet - max(
+                0, mode_task.wcet_lo - residue
+            )
+            cut = min(mode_task.wcet_lo, residue)
         else:
-            hi = mid - 1
-    return lo
+            cut = 0
+        if min_cut is None or cut < min_cut:
+            min_cut = cut
+    if refine and min_cut is not None:
+        total -= min_cut
+    return total
+
+
+def _windowed_hi_check(
+    tasks: list[_ModeTask],
+    meta: tuple,
+    refine: bool,
+    not_before: int,
+) -> tuple[int | None, int | None]:
+    """Fused :meth:`DemandScenario.hi_violation` + demand-at-violation via
+    lazily generated windows.
+
+    Identical results (same horizon handling, same check-point multiset,
+    same first-violation semantics, and the demand value is the very term
+    the violation comparison used); the difference is purely cost: points
+    are generated window by window from ``not_before`` onward — starting
+    narrow and widening geometrically — so an early violation (the common
+    case inside the tuning descent, whose violation front only ever moves
+    forward) never pays for constructing and sorting the full breakpoint
+    set.  ``tasks`` is the HI-mode :class:`_ModeTask` list exactly as
+    :class:`DemandScenario` would build it; ``meta`` is the cached
+    ``(columns, horizon state, density)`` triple from
+    :meth:`DemandEngine._hi_meta`.
+    """
+    if not tasks:
+        return (None, None)
+    columns, state, density = meta
+    if state[0] == "raise":
+        raise state[1]
+    horizon = state[1]
+    if horizon is None:
+        violation = min(t.deadline for t in tasks)
+        return (violation, _hi_point_demand(tasks, violation, refine))
+    width = max(int(64 / density), 1)
+    start = not_before
+    while start <= horizon:
+        points = _window_points(tasks, horizon, start, start + width, ramps=True)
+        if len(points):
+            demand = _hi_demand_2d(columns, points, refine)
+            mask = demand > points
+            if mask.any():
+                where = int(np.argmax(mask))
+                return (int(points[where]), int(demand[where]))
+        start += width
+        width *= 8
+    return (None, None)
+
+
+class DemandEngine:
+    """Evaluation layer between the descent loop and the dbf machinery.
+
+    One engine serves one candidate ``taskset``.  Without a ``memo`` the
+    engine only keeps the single most recent :class:`DemandScenario` (the
+    descent queries each virtual-deadline assignment a couple of times in a
+    row), matching the historical from-scratch cost profile.  With a shared
+    ``memo`` dict — one per core, owned by an incremental analysis context —
+    all pure query results persist and are reused across probes and across
+    the multi-stage ECDF fallback chain.
+
+    Memo keys embed the task ids and the exact virtual deadlines a value was
+    computed from (HI-mode keys cover HC tasks only, because LC tasks
+    contribute no HI demand — this lets LC probes on the same core share
+    all HI-mode work).  Values are therefore reusable only where the fresh
+    computation would return the identical result, which is what makes the
+    incremental path bit-identical to the from-scratch path by construction.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        horizon_cap: int,
+        memo: dict | None = None,
+        committed: int = 0,
+    ):
+        self.taskset = taskset
+        self.horizon_cap = horizon_cap
+        self._memo = memo
+        self._committed = committed
+        self._last: tuple[tuple[int, ...], DemandScenario] | None = None
+        self._high = tuple(t for t in taskset if t.is_high)
+        self._high_ids = tuple(t.task_id for t in self._high)
+        #: per-candidate cache of the uniform-scaling search outcome
+        self._uniform: dict[bool, tuple] = {}
+
+    def _hi_tasks(self, vd: dict[int, int]) -> list[_ModeTask]:
+        """HI-mode :class:`_ModeTask` list for ``vd`` — field-identical to
+        ``DemandScenario(...)._hi``, built from the shared memo without
+        touching the LO side (the HI checks never read it)."""
+        memo = self._memo
+        out = []
+        for t in self._high:
+            key = ("mt", t.task_id, vd[t.task_id])
+            mode_task = memo.get(key)
+            if mode_task is None:
+                mode_task = _ModeTask(
+                    t.wcet_hi, t.deadline - vd[t.task_id], t.period, t.wcet_lo
+                )
+                memo[key] = mode_task
+            out.append(mode_task)
+        return out
+
+    # -- signatures ---------------------------------------------------------
+    def _sig_all(self, vd: dict[int, int]) -> tuple:
+        """(id, effective LO deadline) for every task, in candidate order."""
+        return tuple(
+            (t.task_id, vd.get(t.task_id, t.deadline)) for t in self.taskset
+        )
+
+    def _sig_high(self, vd: dict[int, int]) -> tuple:
+        """(id, Dv) for the HC tasks only (the HI checks ignore LC tasks)."""
+        return tuple((tid, vd[tid]) for tid in self._high_ids)
+
+    def _sig_others(self, vd: dict[int, int], excluded: int) -> tuple:
+        """(id, effective LO deadline) for every task except ``excluded``."""
+        return tuple(
+            (t.task_id, vd.get(t.task_id, t.deadline))
+            for t in self.taskset
+            if t.task_id != excluded
+        )
+
+    # -- scenario construction ----------------------------------------------
+    def scenario(self, vd: dict[int, int]) -> DemandScenario:
+        """The :class:`DemandScenario` for ``vd`` (cached)."""
+        sig = tuple(vd.get(t.task_id, t.deadline) for t in self.taskset)
+        if self._last is not None and self._last[0] == sig:
+            return self._last[1]
+        scenario = DemandScenario(self.taskset, vd, horizon_cap=self.horizon_cap)
+        self._last = (sig, scenario)
+        return scenario
+
+    # -- memoized queries ----------------------------------------------------
+    def _cached(self, key: tuple, compute):
+        """Memo lookup; exceptions are cached and re-raised like values."""
+        if self._memo is None:
+            return compute()
+        try:
+            hit = self._memo[key]
+        except KeyError:
+            try:
+                value = compute()
+            except HorizonExceeded as exc:
+                self._memo[key] = ("raise", exc)
+                raise
+            self._memo[key] = ("value", value)
+            return value
+        kind, payload = hit
+        if kind == "raise":
+            raise payload
+        return payload
+
+    def lo_feasible(self, vd: dict[int, int]) -> bool:
+        """LO-mode dbf check verdict (conservative False on horizon cap)."""
+
+        def compute() -> bool:
+            if (
+                self._committed
+                and len(self.taskset) == self._committed + 1
+                and all(
+                    vd.get(t.task_id, t.deadline) == t.deadline
+                    for t in self.taskset
+                )
+            ):
+                return self._lo_feasible_overlay()
+            try:
+                return self.scenario(vd).lo_violation() is None
+            except HorizonExceeded:
+                return False
+
+        return self._cached(("lo", self._sig_all(vd)), compute)
+
+    def _lo_feasible_overlay(self) -> bool:
+        """Full-deadline LO check via the cached committed-demand profile.
+
+        The opening LO check of every tuning run evaluates the candidate at
+        untouched deadlines, where the committed tasks' contribution is a
+        fixed step function; the context caches its breakpoints and demand
+        values once per commit state and each probe only overlays its own
+        task.  Horizon bookkeeping (fold order of the float sums, the
+        ``U > 1`` marker, the cap) transcribes
+        :meth:`DemandScenario._horizon` / :meth:`~DemandScenario.
+        lo_violation` term by term, and the committed step values at the
+        probe's check points equal the joint evaluation exactly, so the
+        verdict is identical to the scenario path.
+        """
+        import math
+
+        memo = self._memo
+        committed = self.taskset[: self._committed]
+        probe = self.taskset[self._committed]
+        cids = tuple(t.task_id for t in committed)
+
+        sums = memo.get(("lou", cids))
+        if sums is None:
+            total_u_c = sum(t.wcet_lo / t.period for t in committed)
+            numer_c = sum(
+                (t.wcet_lo / t.period) * max(0, t.period - t.deadline)
+                for t in committed
+            )
+            sums = (total_u_c, numer_c)
+            memo[("lou", cids)] = sums
+        total_u = sums[0] + probe.wcet_lo / probe.period
+        numerator = sums[1] + (probe.wcet_lo / probe.period) * max(
+            0, probe.period - probe.deadline
+        )
+        if total_u > 1.0 + 1e-12:
+            return False  # guaranteed violation (marker path)
+        if numerator == 0:
+            return True  # horizon 0: implicit-deadline EDF, nothing to check
+        if total_u >= 1.0 - 1e-12:
+            return False  # diverging bound: HorizonExceeded, conservative
+        horizon = math.ceil(numerator / (1.0 - total_u))
+        if horizon > self.horizon_cap:
+            return False  # HorizonExceeded, conservative
+
+        profile = memo.get(("loprof", cids))
+        if profile is None or profile[0] < horizon:
+            store = min(max(4 * horizon, 4096), self.horizon_cap)
+            mode = [
+                _ModeTask(t.wcet_lo, t.deadline, t.period, t.wcet_lo)
+                for t in committed
+            ]
+            families = [
+                np.arange(t.deadline, store + 1, t.period, dtype=np.int64)
+                for t in mode
+                if t.deadline <= store
+            ]
+            if families:
+                points_c = np.sort(np.concatenate(families))
+            else:
+                points_c = np.empty(0, dtype=np.int64)
+            profile = (store, points_c, DemandScenario._lo_demand(mode, points_c))
+            memo[("loprof", cids)] = profile
+        _, points_c, demand_c = profile
+        keep = np.searchsorted(points_c, horizon, side="right")
+        points_c = points_c[:keep]
+        demand_c = demand_c[:keep]
+
+        if probe.deadline <= horizon:
+            own = np.arange(probe.deadline, horizon + 1, probe.period, dtype=np.int64)
+        else:
+            own = np.empty(0, dtype=np.int64)
+        points = np.concatenate(
+            [points_c, own, np.asarray([horizon], dtype=np.int64)]
+        )
+        points.sort()
+        if len(points_c):
+            idx = np.searchsorted(points_c, points, side="right") - 1
+            committed_at = np.where(idx >= 0, demand_c[np.maximum(idx, 0)], 0)
+        else:
+            committed_at = np.zeros(len(points), dtype=np.int64)
+        x = points - probe.deadline
+        probe_at = np.where(x >= 0, (x // probe.period + 1) * probe.wcet_lo, 0)
+        return not np.any(committed_at + probe_at > points)
+
+    def _hi_meta(self, sig: tuple, tasks: list[_ModeTask]) -> tuple:
+        """Cached ``(demand columns, horizon state, density)`` for ``sig``.
+
+        The horizon state is ``("h", horizon-or-None)`` or ``("raise",
+        exc)`` — precomputing it once per virtual-deadline signature lets
+        both refinement variants of the HI check share the float-summing
+        horizon bound and the per-task numpy columns.
+        """
+        meta = self._memo.get(("cols", sig))
+        if meta is None:
+            try:
+                horizon = DemandScenario._horizon(tasks, self.horizon_cap)
+                if horizon is not None:
+                    horizon = max(horizon, max(t.deadline for t in tasks))
+                    if horizon > self.horizon_cap:
+                        raise HorizonExceeded(
+                            f"bound {horizon} exceeds cap {self.horizon_cap}"
+                        )
+                state = ("h", horizon)
+            except HorizonExceeded as exc:
+                state = ("raise", exc)
+            meta = (
+                _hi_demand_columns(tasks),
+                state,
+                sum(2.0 / t.period for t in tasks),
+            )
+            self._memo[("cols", sig)] = meta
+        return meta
+
+    def hi_check(
+        self, vd: dict[int, int], refine: bool, not_before: int = 0
+    ) -> tuple[int | None, int | None]:
+        """Earliest HI-mode violation and the demand there, fused.
+
+        Returns ``(None, None)`` on a pass; may raise
+        :class:`HorizonExceeded` exactly as the underlying scenario does.
+        ``not_before`` is a scan hint for callers that can prove no
+        violation exists below it (see
+        :meth:`DemandScenario.hi_violation`); the returned values are the
+        same with or without it, so memo entries ignore the hint.  The
+        stateless (memo-free) engine also ignores it, preserving the
+        published full-scan behavior of the from-scratch path.
+        """
+        if self._memo is None:
+            scenario = self.scenario(vd)
+            violation = scenario.hi_violation(refine=refine)
+            if violation is None:
+                return (None, None)
+            return (violation, scenario.hi_demand_at(violation, refine=refine))
+        sig = self._sig_high(vd)
+
+        def compute() -> tuple[int | None, int | None]:
+            tasks = self._hi_tasks(vd)
+            if not tasks:
+                return (None, None)
+            return _windowed_hi_check(
+                tasks, self._hi_meta(sig, tasks), refine, not_before
+            )
+
+        return self._cached(("hi", sig, refine), compute)
+
+    def hi_violation(
+        self, vd: dict[int, int], refine: bool, not_before: int = 0
+    ) -> int | None:
+        """Earliest HI-mode violation (None = pass); see :meth:`hi_check`."""
+        return self.hi_check(vd, refine, not_before)[0]
+
+    def hi_feasible(self, vd: dict[int, int], refine: bool) -> bool:
+        """``hi_violation(vd, refine) is None``, with cross-refinement
+        inference.
+
+        The trigger refinement only ever *subtracts* demand, so a refined
+        violation implies an unrefined one, and an unrefined pass implies a
+        refined pass.  When the requested verdict is missing from the memo
+        but the other refinement's is present and decisive in that
+        direction, the answer is returned without any dbf work — the ECDF
+        fallback chain re-runs its uniform-scaling search with the
+        refinement toggled, and this settles most of those re-evaluations.
+        Raises :class:`HorizonExceeded` exactly like :meth:`hi_violation`.
+        """
+        memo = self._memo
+        if memo is not None:
+            key = ("hi", self._sig_high(vd), refine)
+            hit = memo.get(key)
+            if hit is None:
+                other = memo.get(("hi", key[1], not refine))
+                if other is not None and other[0] == "value":
+                    if refine and other[1][0] is None:
+                        return True  # unrefined pass => refined pass
+                    if not refine and other[1][0] is not None:
+                        return False  # refined violation => unrefined one
+        return self.hi_violation(vd, refine) is None
+
+    def hi_demand_at(self, vd: dict[int, int], length: int, refine: bool) -> int:
+        """Total HI-mode demand at one interval length."""
+        if self._memo is None:
+            return self.scenario(vd).hi_demand_at(length, refine=refine)
+        return self._cached(
+            ("hid", self._sig_high(vd), length, refine),
+            lambda: _hi_point_demand(self._hi_tasks(vd), length, refine),
+        )
+
+    def hi_gain(self, task: MCTask, vd_now: int, shrink: int, length: int) -> int:
+        if self._memo is None:
+            return _hi_gain(task, vd_now, shrink, length)
+        # Inlined hi_mode_dbf difference on plain ints (the caller
+        # guarantees an HC task): identical arithmetic, no attribute hops.
+        period, wcet_lo, wcet_hi = task.period, task.wcet_lo, task.wcet_hi
+        x_now = length - (task.deadline - vd_now)
+        x_new = x_now - shrink
+        if x_now >= 0:
+            d_now = (x_now // period + 1) * wcet_hi - max(0, wcet_lo - x_now % period)
+        else:
+            d_now = 0
+        if x_new >= 0:
+            d_new = (x_new // period + 1) * wcet_hi - max(0, wcet_lo - x_new % period)
+        else:
+            d_new = 0
+        return d_now - d_new
+
+    def min_shrink_for_gain(
+        self, task: MCTask, vd_now: int, length: int
+    ) -> int | None:
+        return _min_shrink_for_gain(task, vd_now, length)
+
+    def shrink_to_clear(
+        self, task: MCTask, vd_now: int, length: int, deficit: int
+    ) -> int:
+        if self._memo is None:
+            return _shrink_to_clear(task, vd_now, length, deficit)
+
+        def compute() -> int:
+            # _shrink_to_clear with the gain evaluations routed through the
+            # inlined hi_gain above — same searches, same results.
+            max_shrink = vd_now - task.wcet_lo
+            target = min(deficit, self.hi_gain(task, vd_now, max_shrink, length))
+            if target <= 0:
+                return max_shrink
+            lo, hi = 1, max_shrink
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self.hi_gain(task, vd_now, mid, length) >= target:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo
+
+        return self._cached(("stc", task.task_id, vd_now, length, deficit), compute)
+
+    def lo_shrink_probe(self, vd: dict[int, int], task: MCTask):
+        """The (immutable, hence shareable) :class:`LoShrinkProbe` for
+        varying ``task``'s deadline with every other task fixed at ``vd``."""
+        return self._cached(
+            ("lsp", task.task_id, self._sig_others(vd, task.task_id)),
+            lambda: self.scenario(vd).lo_shrink_probe(task),
+        )
+
+    def max_lo_feasible_shrink(
+        self, vd: dict[int, int], task: MCTask, desired: int
+    ) -> int:
+        """Largest shrink ``<= desired`` keeping the LO-mode check feasible.
+
+        LO demand grows monotonically with the shrink, so feasibility is a
+        prefix property of the shrink — equivalently, the probed task has a
+        *minimal LO-feasible virtual deadline* ``V*`` (given the other
+        tasks' deadlines) and the answer is ``min(desired, base - V*)``.
+        Probes go through :class:`~repro.analysis.dbf.LoShrinkProbe`, which
+        precomputes the other tasks' demand once instead of rebuilding the
+        whole scenario per probe; the memoized engine additionally caches
+        ``V*``, which is independent of the task's own current deadline —
+        so every later descent iteration that re-picks this task (with any
+        remaining ``base``, against any deficit) costs one lookup.
+        """
+        base = vd[task.task_id]
+
+        if self._memo is None:
+            # From-scratch behavior: desired-bounded binary search per call.
+            try:
+                probe = self.lo_shrink_probe(vd, task)
+            except HorizonExceeded:
+                return 0
+            if probe.feasible(base - desired):
+                return desired
+            lo, hi = 0, desired - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if probe.feasible(base - mid):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo
+
+        def compute() -> int | None:
+            """Smallest LO-feasible virtual deadline; None when even the
+            task's full deadline is infeasible under the probe's verdicts.
+
+            The probe's first check (own demand against the other tasks'
+            slack at *their* breakpoints) inverts in closed form: at slack
+            ``s`` the task may place at most ``s // C_L`` jobs, giving a
+            per-point lower bound on the deadline.  The max of those bounds
+            is verified with one :meth:`LoShrinkProbe.feasible` call (the
+            own-breakpoint check can still push higher, in which case the
+            bisection resumes above the bound) — same verdict function,
+            same minimum, far fewer probe evaluations.
+            """
+            try:
+                probe = self.lo_shrink_probe(vd, task)
+            except HorizonExceeded:
+                return None
+            points_o, slack_o = probe._points_o, probe._slack_o
+            if probe._infeasible_always:
+                return None
+            floor_v = task.wcet_lo
+            if len(points_o):
+                if int(slack_o.min()) < 0:
+                    return None  # the other tasks alone overrun: never feasible
+                bounds = points_o - (slack_o // task.wcet_lo) * task.period + 1
+                floor_v = max(floor_v, int(bounds.max()))
+            if floor_v > task.deadline:
+                return None
+            # At or above floor_v the other-breakpoint half holds by the
+            # closed-form inversion, so only the own-breakpoint half of
+            # feasible() remains to test.
+            if probe._own_feasible(floor_v):
+                return floor_v
+            if not probe._own_feasible(task.deadline):
+                return None
+            lo, hi = floor_v + 1, task.deadline
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if probe._own_feasible(mid):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo
+
+        key = ("vmin", task.task_id, self._sig_others(vd, task.task_id))
+        v_min = self._cached(key, compute)
+        if v_min is None:
+            return 0
+        return min(desired, max(0, base - v_min))
 
 
 def tune_virtual_deadlines(
@@ -160,6 +724,7 @@ def tune_virtual_deadlines(
     policy: str,
     refine: bool,
     horizon_cap: int,
+    engine: DemandEngine | None = None,
 ) -> TuningOutcome:
     """Run the descent loop; see module docstring.
 
@@ -173,9 +738,16 @@ def tune_virtual_deadlines(
         Enable the carry-over trigger refinement in the HI check (ECDF).
     horizon_cap:
         Passed through to :class:`DemandScenario`; exceeding it rejects.
+    engine:
+        Evaluation layer to issue dbf queries through; a fresh
+        :class:`DemandEngine` (from-scratch behavior) when omitted.
+        Callers passing a memo-backed engine (the incremental contexts)
+        get identical outcomes with repeated work deduplicated.
     """
     if policy not in ("steepest", "ratio"):
         raise ValueError(f"unknown tuning policy {policy!r}")
+    if engine is None:
+        engine = DemandEngine(taskset, horizon_cap)
 
     high_tasks = list(taskset.high_tasks)
     vd = {t.task_id: t.deadline for t in high_tasks}
@@ -196,7 +768,7 @@ def tune_virtual_deadlines(
     ):
         return TuningOutcome(True, vd, 0, "plain-EDF reserve (a + c <= 1)")
 
-    if not _lo_feasible(taskset, vd, horizon_cap):
+    if not engine.lo_feasible(vd):
         return TuningOutcome(False, vd, 0, "LO-mode infeasible at full deadlines")
 
     # Definitive fast reject: HI demand is monotone non-increasing in every
@@ -205,9 +777,7 @@ def tune_virtual_deadlines(
     if high_tasks:
         floor_vd = {t.task_id: t.wcet_lo for t in high_tasks}
         try:
-            floor_violation = _scenario(
-                taskset, floor_vd, horizon_cap
-            ).hi_violation(refine=refine)
+            floor_violation = engine.hi_violation(floor_vd, refine)
         except HorizonExceeded:
             return TuningOutcome(False, vd, 0, "HI horizon cap exceeded")
         if floor_violation is not None:
@@ -224,13 +794,39 @@ def tune_virtual_deadlines(
     # remains the completion pass (per-task deadlines can succeed where
     # uniform scaling cannot), so this is acceptance-neutral or better.
     if high_tasks:
-        uniform = _uniform_scaling_search(
-            taskset, high_tasks, refine, horizon_cap
-        )
+        uniform = _uniform_scaling_search(high_tasks, refine, engine)
         if uniform is not None:
             return uniform
 
-    return _descend(taskset, high_tasks, vd, policy, refine, horizon_cap)
+    return _descend(high_tasks, vd, policy, refine, engine)
+
+
+def run_tuning_stages(
+    taskset: TaskSet,
+    stages: tuple[tuple[str, bool], ...],
+    horizon_cap: int,
+    engine: DemandEngine | None = None,
+) -> TuningOutcome:
+    """Run ``(policy, refine)`` stages in order until one accepts.
+
+    This is the fallback-chain shape of :class:`~repro.analysis.ecdf.
+    ECDFTest` (and, with a single stage, of :class:`~repro.analysis.ey.
+    EYTest`): later stages only run when every earlier stage rejected, and
+    the last outcome is returned either way.  When ``engine`` is omitted
+    every stage builds a fresh engine, reproducing the historical
+    from-scratch cost; the incremental contexts pass one memo-backed engine
+    so the stages share all common dbf work.
+    """
+    if not stages:
+        raise ValueError("at least one tuning stage is required")
+    outcome: TuningOutcome | None = None
+    for policy, refine in stages:
+        outcome = tune_virtual_deadlines(
+            taskset, policy, refine, horizon_cap, engine=engine
+        )
+        if outcome.schedulable:
+            break
+    return outcome
 
 
 def _scaled_deadlines(high_tasks: list[MCTask], x: float) -> dict[int, int]:
@@ -242,10 +838,9 @@ def _scaled_deadlines(high_tasks: list[MCTask], x: float) -> dict[int, int]:
 
 
 def _uniform_scaling_search(
-    taskset: TaskSet,
     high_tasks: list[MCTask],
     refine: bool,
-    horizon_cap: int,
+    engine: DemandEngine,
 ) -> TuningOutcome | None:
     """Largest-``x`` uniform scaling that passes both checks, or None.
 
@@ -253,12 +848,32 @@ def _uniform_scaling_search(
     works; None when the caller should fall through to the per-task
     descent (including on horizon-cap trouble, which the descent handles
     with its own conservative semantics).
+
+    The search never consults the descent policy, so on a memo-backed
+    engine its outcome is cached per refinement flag — the ECDF fallback
+    chain's second stage skips the bisection entirely.
     """
+    if engine._memo is not None:
+        # Cached on the engine, not the cross-probe memo: the outcome
+        # depends on the whole candidate, and an engine serves exactly one.
+        cached = engine._uniform.get(refine)
+        if cached is None:
+            cached = (_uniform_scaling_search_impl(high_tasks, refine, engine),)
+            engine._uniform[refine] = cached
+        return cached[0]
+    return _uniform_scaling_search_impl(high_tasks, refine, engine)
+
+
+def _uniform_scaling_search_impl(
+    high_tasks: list[MCTask],
+    refine: bool,
+    engine: DemandEngine,
+) -> TuningOutcome | None:
+    """The bisection behind :func:`_uniform_scaling_search`."""
 
     def hi_ok(vd: dict[int, int]) -> bool | None:
         try:
-            scenario = _scenario(taskset, vd, horizon_cap)
-            return scenario.hi_violation(refine=refine) is None
+            return engine.hi_feasible(vd, refine)
         except HorizonExceeded:
             return None
 
@@ -283,42 +898,45 @@ def _uniform_scaling_search(
             return None
     else:
         best = _scaled_deadlines(high_tasks, hi_x)
-    if not _lo_feasible(taskset, best, horizon_cap):
+    if not engine.lo_feasible(best):
         return None
     return TuningOutcome(True, best, 0, "uniform deadline scaling")
 
 
 def _descend(
-    taskset: TaskSet,
     high_tasks: list[MCTask],
     vd: dict[int, int],
     policy: str,
     refine: bool,
-    horizon_cap: int,
+    engine: DemandEngine,
 ) -> TuningOutcome:
     """The shrink-descent loop from an LO-feasible starting assignment."""
     vd = dict(vd)
     frozen: set[int] = set()
+    # Shrinking any Dv only lowers HI demand, so check points below the
+    # last seen violation stay feasible for the rest of the descent — the
+    # scan may resume there (a pure cost hint; see DemandEngine).
+    front = 0
     for iteration in range(1, _MAX_ITERATIONS + 1):
         try:
-            scenario = _scenario(taskset, vd, horizon_cap)
-            violation = scenario.hi_violation(refine=refine)
+            violation, demand = engine.hi_check(vd, refine, not_before=front)
         except HorizonExceeded:
             return TuningOutcome(False, vd, iteration, "HI horizon cap exceeded")
         if violation is None:
             return TuningOutcome(True, vd, iteration)
+        front = violation
 
-        deficit = scenario.hi_demand_at(violation, refine=refine) - violation
+        deficit = demand - violation
         candidate = _pick_candidate(
-            high_tasks, vd, frozen, violation, deficit, policy
+            high_tasks, vd, frozen, violation, deficit, policy, engine
         )
         if candidate is None:
             return TuningOutcome(
                 False, vd, iteration, f"no shrinkable task at l*={violation}"
             )
         task, desired = candidate
-        shrink = _max_lo_feasible_shrink(taskset, vd, task, desired, horizon_cap)
-        if shrink == 0 or _hi_gain(task, vd[task.task_id], shrink, violation) <= 0:
+        shrink = engine.max_lo_feasible_shrink(vd, task, desired)
+        if shrink == 0 or engine.hi_gain(task, vd[task.task_id], shrink, violation) <= 0:
             frozen.add(task.task_id)
             continue
         vd[task.task_id] -= shrink
@@ -334,6 +952,7 @@ def _pick_candidate(
     violation: int,
     deficit: int,
     policy: str,
+    engine: DemandEngine,
 ) -> tuple[MCTask, int] | None:
     """Choose the task to shrink and the desired shrink amount."""
     best: tuple[float, int, MCTask, int] | None = None
@@ -341,12 +960,12 @@ def _pick_candidate(
         if task.task_id in frozen:
             continue
         vd_now = vd[task.task_id]
-        first = _min_shrink_for_gain(task, vd_now, violation)
+        first = engine.min_shrink_for_gain(task, vd_now, violation)
         if first is None:
             continue
-        desired = _shrink_to_clear(task, vd_now, violation, deficit)
+        desired = engine.shrink_to_clear(task, vd_now, violation, deficit)
         desired = max(desired, first)
-        gain = _hi_gain(task, vd_now, desired, violation)
+        gain = engine.hi_gain(task, vd_now, desired, violation)
         if gain <= 0:
             continue
         if policy == "steepest":

@@ -27,6 +27,7 @@ from repro.core.allocator import (
     PartitionResult,
     PartitioningStrategy,
     ProcessorState,
+    UnsupportedTasksetError,
     partition,
 )
 from repro.core.baselines import (
@@ -48,6 +49,7 @@ __all__ = [
     "PartitionResult",
     "PartitioningStrategy",
     "ProcessorState",
+    "UnsupportedTasksetError",
     "partition",
     "ca_udp",
     "cu_udp",

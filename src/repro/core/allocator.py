@@ -17,6 +17,16 @@ Every strategy expressed this way "considers all processors for allocation
 of a task before declaring failure", which is the premise of the 8/3
 speed-up inheritance result for the EDF-VD test (Baruah et al. 2014,
 Theorem 9).
+
+Probing is incremental by default: tests that provide an
+:class:`~repro.analysis.context.AnalysisContext` get one per core, so each
+admission probe reuses the core's accumulated analysis state instead of
+rebuilding a :class:`TaskSet` and re-deriving everything from scratch.
+Contexts are bit-identical to the from-scratch path by construction (and by
+the differential test suite); ``incremental=False`` forces the historical
+from-scratch probes, which the benchmarks use as the comparison baseline.
+:class:`ProcessorState` stays the shared accumulator either way — fit rules
+read their utilization sums from it, never from the contexts.
 """
 
 from __future__ import annotations
@@ -33,8 +43,31 @@ __all__ = [
     "OrderRule",
     "PartitioningStrategy",
     "PartitionResult",
+    "UnsupportedTasksetError",
     "partition",
 ]
+
+
+class UnsupportedTasksetError(ValueError):
+    """A (strategy, test) pairing was asked to partition a task set that
+    violates the test's model assumptions (``test.supports`` is False).
+
+    Raised up front by :func:`partition`, before any probing, so an
+    incompatible pairing (e.g. EDF-VD's implicit-deadline-only utilization
+    test against a constrained-deadline sweep) fails with a clear, typed
+    error instead of an arbitrary ``ValueError`` from deep inside the
+    analysis mid-campaign.  Subclasses ``ValueError`` for backward
+    compatibility with callers that caught the old behavior.
+    """
+
+    def __init__(self, strategy_name: str, test_name: str, reason: str):
+        self.strategy_name = strategy_name
+        self.test_name = test_name
+        self.reason = reason
+        super().__init__(
+            f"strategy {strategy_name!r} with test {test_name!r} cannot "
+            f"partition this task set: {reason}"
+        )
 
 
 class ProcessorState:
@@ -146,25 +179,54 @@ def partition(
     m: int,
     test: SchedulabilityTest,
     strategy: PartitioningStrategy,
+    *,
+    incremental: bool = True,
 ) -> PartitionResult:
     """Statically assign ``taskset`` to ``m`` cores; see module docstring.
 
     The schedulability ``test`` is evaluated on the candidate core's tasks
     *plus* the new task before every assignment, exactly as in Algorithm 1
-    of the paper (lines 5 and 16).
+    of the paper (lines 5 and 16).  With ``incremental=True`` (the default)
+    and a test that provides an analysis context, probes run against
+    per-core :class:`~repro.analysis.context.AnalysisContext` objects;
+    otherwise each probe rebuilds the candidate task set from scratch.
+    Both paths produce the identical :class:`PartitionResult`.
+
+    Raises :class:`UnsupportedTasksetError` when ``test.supports(taskset)``
+    is False (the task set violates the test's model assumptions), and
+    ``ValueError`` when ``m`` is not positive.
     """
     if m <= 0:
         raise ValueError(f"m must be positive, got {m}")
+    if len(taskset) and not test.supports(taskset):
+        raise UnsupportedTasksetError(
+            strategy.name,
+            test.name,
+            "the task set violates the test's model assumptions "
+            "(see SchedulabilityTest.supports, e.g. EDF-VD requires "
+            "implicit deadlines)",
+        )
     processors = [ProcessorState(i) for i in range(m)]
+    contexts = None
+    if incremental:
+        candidates = [test.make_context() for _ in range(m)]
+        if all(context is not None for context in candidates):
+            contexts = candidates
     assignment: dict[int, int] = {}
 
     for task in strategy.order(taskset):
         fit = strategy.fit_for(task)
         placed = False
         for proc_index in fit(processors):
-            candidate = processors[proc_index].taskset().with_task(task)
-            if test.is_schedulable(candidate):
+            if contexts is not None:
+                admitted = contexts[proc_index].probe(task)
+            else:
+                candidate = processors[proc_index].taskset().with_task(task)
+                admitted = test.is_schedulable(candidate)
+            if admitted:
                 processors[proc_index].add(task)
+                if contexts is not None:
+                    contexts[proc_index].commit(task)
                 assignment[task.task_id] = proc_index
                 placed = True
                 break

@@ -26,7 +26,28 @@ __all__ = [
     "BucketOutcome",
     "AcceptanceSweep",
     "merge_outcomes",
+    "validate_algorithms",
 ]
+
+
+def validate_algorithms(
+    config: "SweepConfig", algorithms: list[PartitionedAlgorithm]
+) -> None:
+    """Reject (algorithm, deadline type) pairings the tests cannot analyze.
+
+    Called at sweep setup (and by the campaign decomposition before any
+    worker spawns), so e.g. EDF-VD against a constrained-deadline sweep
+    fails immediately with a clear error instead of raising from deep
+    inside the analysis mid-campaign.
+    """
+    for algorithm in algorithms:
+        if not algorithm.test.supports_deadline_type(config.deadline_type):
+            raise ValueError(
+                f"algorithm {algorithm.name!r} cannot run on a "
+                f"deadline_type={config.deadline_type!r} sweep: test "
+                f"{algorithm.test.name!r} does not support it "
+                f"(sweep label {config.label!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -62,20 +83,42 @@ class SweepResult:
             ) from None
 
     def ratio_curve(self, algorithm: str) -> list[tuple[float, float]]:
-        """``(UB, acceptance ratio)`` series for one algorithm."""
-        return list(zip(self.buckets, self._series(algorithm)))
+        """``(UB, acceptance ratio)`` series for one algorithm.
+
+        Raises ``ValueError`` when the series length disagrees with the
+        bucket axis (e.g. a stale cache shard merged from a different
+        bucket grid) — a silently truncated curve would misreport the
+        sweep, so the mismatch fails loudly instead.
+        """
+        try:
+            return list(zip(self.buckets, self._series(algorithm), strict=True))
+        except ValueError:
+            raise ValueError(
+                f"series for {algorithm!r} has "
+                f"{len(self._series(algorithm))} entries but the sweep has "
+                f"{len(self.buckets)} buckets; the merged outcomes are "
+                "inconsistent (stale or foreign cache shard?)"
+            ) from None
 
     def max_improvement(self, algorithm: str, baseline: str) -> float:
         """Largest acceptance-ratio gain of ``algorithm`` over ``baseline``.
 
         Expressed in percentage points over the swept buckets — the
         "improves schedulability by as much as X%" statistic the paper
-        headlines.
+        headlines.  Mismatched series lengths raise ``ValueError`` rather
+        than silently truncating the comparison.
         """
-        gains = [
-            a - b
-            for a, b in zip(self._series(algorithm), self._series(baseline))
-        ]
+        series_a = self._series(algorithm)
+        series_b = self._series(baseline)
+        try:
+            gains = [a - b for a, b in zip(series_a, series_b, strict=True)]
+        except ValueError:
+            raise ValueError(
+                f"series for {algorithm!r} ({len(series_a)} entries) and "
+                f"{baseline!r} ({len(series_b)} entries) disagree in "
+                "length; the merged outcomes are inconsistent "
+                "(stale or foreign cache shard?)"
+            ) from None
         return 100.0 * max(gains, default=0.0)
 
 
@@ -180,6 +223,7 @@ class AcceptanceSweep:
     ) -> BucketOutcome:
         """Run every algorithm over one bucket's task-set sample (one shard)."""
         cfg = self.config
+        validate_algorithms(cfg, algorithms)
         tasksets = self.tasksets_for_bucket(bucket, points)
         ratios: dict[str, float] = {}
         if tasksets:

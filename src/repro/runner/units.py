@@ -18,6 +18,7 @@ from repro.experiments.acceptance import (
     AcceptanceSweep,
     BucketOutcome,
     SweepConfig,
+    validate_algorithms,
 )
 from repro.experiments.algorithms import get_algorithm
 
@@ -43,8 +44,9 @@ def decompose_sweep(
 ) -> list[WorkUnit]:
     """Split a sweep into independent per-bucket work units, ascending."""
     names = tuple(algorithm_names)
-    for name in names:
-        get_algorithm(name)  # fail fast on typos, before any worker spawns
+    # Fail fast on typos and on algorithm/deadline-type pairings the tests
+    # cannot analyze, before any worker spawns.
+    validate_algorithms(config, [get_algorithm(name) for name in names])
     sweep = AcceptanceSweep(config)
     return [
         WorkUnit(config=config, bucket=bucket, algorithms=names)

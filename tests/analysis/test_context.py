@@ -1,0 +1,208 @@
+"""Differential and rollback tests for the incremental analysis contexts.
+
+The incremental path's whole contract is *bit-identical verdicts*: for any
+probe sequence, ``context.analyze(task)`` must equal
+``test.analyze(TaskSet(committed + [task]))`` — verdicts, virtual
+deadlines, scaling factors and priorities.  These tests sweep generated
+task sets over both deadline types and several (PH, m) combinations and
+replay allocation-like probe/commit sequences against every registered
+test, asserting the equality the partitioning hot loop relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import get_test, registered_tests
+from repro.analysis.context import AnalysisContext
+from repro.generator import GeneratorConfig, MCTaskSetGenerator
+from repro.model import TaskSet
+from repro.util.rng import derive_rng
+
+from tests.conftest import hc_task, lc_task
+
+#: Tests expected to provide an incremental context.
+CONTEXT_TESTS = ("edf-vd", "ey", "ecdf", "amc-rtb", "amc-max")
+
+#: Sweep coverage: (deadline_type, p_high, m) as in the paper's figures.
+SWEEP_CASES = [
+    ("implicit", 0.5, 2),
+    ("implicit", 0.3, 4),
+    ("implicit", 0.7, 2),
+    ("constrained", 0.5, 2),
+    ("constrained", 0.5, 4),
+    ("constrained", 0.3, 2),
+]
+
+
+def generated_tasksets(deadline_type: str, p_high: float, m: int, count: int = 6):
+    """Deterministic sample of generated task sets for one sweep case."""
+    generator = MCTaskSetGenerator(
+        GeneratorConfig(m=m, p_high=p_high, deadline_type=deadline_type)
+    )
+    rng = derive_rng("context-differential", deadline_type, p_high, m)
+    out = []
+    targets = [(0.3, 0.2, 0.3), (0.5, 0.25, 0.3), (0.6, 0.3, 0.35), (0.7, 0.3, 0.4)]
+    while len(out) < count:
+        u_hh, u_lh, u_ll = targets[len(out) % len(targets)]
+        taskset = generator.generate(rng, u_hh, u_lh, u_ll)
+        if taskset is not None:
+            out.append(taskset)
+    return out
+
+
+def assert_results_match(incremental, scratch, label: str) -> None:
+    """Context vs from-scratch result equality (the differential contract)."""
+    assert incremental.schedulable == scratch.schedulable, label
+    assert incremental.virtual_deadlines == scratch.virtual_deadlines, label
+    assert incremental.scaling_factor == scratch.scaling_factor, label
+    assert incremental.priorities == scratch.priorities, label
+
+
+def replay(test, taskset: TaskSet) -> int:
+    """Replay a greedy one-core allocation, differentially checking every
+    probe; returns the number of probes checked."""
+    context = test.make_context()
+    committed: list = []
+    probes = 0
+    for task in taskset:
+        candidate = TaskSet(committed + [task])
+        if not test.supports(candidate):
+            continue
+        scratch = test.analyze(candidate)
+        incremental = context.analyze(task)
+        assert_results_match(incremental, scratch, f"{test.name}: probe {task.name}")
+        assert context.probe(task) == scratch.schedulable
+        probes += 1
+        if scratch.schedulable:
+            context.commit(task)
+            committed.append(task)
+    assert context.taskset() == TaskSet(committed)
+    return probes
+
+
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("deadline_type,p_high,m", SWEEP_CASES)
+    @pytest.mark.parametrize("test_name", CONTEXT_TESTS)
+    def test_context_matches_from_scratch(self, test_name, deadline_type, p_high, m):
+        test = get_test(test_name)
+        if not test.supports_deadline_type(deadline_type):
+            pytest.skip(f"{test_name} does not support {deadline_type} deadlines")
+        total = 0
+        for taskset in generated_tasksets(deadline_type, p_high, m):
+            total += replay(test, taskset)
+        assert total > 0  # the sweep actually exercised probes
+
+    @pytest.mark.parametrize("test_name", sorted(registered_tests()))
+    def test_every_registered_test_is_covered(self, test_name):
+        """Every registered test either provides a context (exercised by the
+        differential sweep above) or explicitly falls back (None)."""
+        context = get_test(test_name).make_context()
+        if test_name in CONTEXT_TESTS:
+            assert isinstance(context, AnalysisContext)
+        else:
+            assert context is None
+
+
+class TestProbeRollback:
+    """A failed (or any) probe must leave the context state untouched."""
+
+    @pytest.mark.parametrize("test_name", CONTEXT_TESTS)
+    def test_failed_probe_leaves_state_untouched(self, test_name):
+        test = get_test(test_name)
+        context = test.make_context()
+        base = [
+            hc_task(100, 20, 40, name="h1"),
+            lc_task(80, 16, name="l1"),
+        ]
+        for task in base:
+            assert context.probe(task)
+            context.commit(task)
+        reference = hc_task(120, 10, 25, name="ref")
+        before = context.analyze(reference)
+        # An impossible task: utilization above 1 on its own.
+        monster = hc_task(10, 8, 10, name="monster")
+        assert not context.probe(monster)
+        after = context.analyze(reference)
+        assert_results_match(after, before, test_name)
+        assert context.tasks == tuple(base)
+
+    @pytest.mark.parametrize("test_name", CONTEXT_TESTS)
+    def test_snapshot_rollback_restores_exact_state(self, test_name):
+        test = get_test(test_name)
+        context = test.make_context()
+        first = hc_task(100, 20, 40, name="h1")
+        context.commit(first)
+        token = context.snapshot()
+        reference = hc_task(150, 15, 30, name="ref")
+        before = context.analyze(reference)
+
+        extra = lc_task(60, 12, name="l-extra")
+        context.commit(extra)
+        assert context.tasks == (first, extra)
+        context.rollback(token)
+        assert context.tasks == (first,)
+
+        after = context.analyze(reference)
+        assert_results_match(after, before, test_name)
+        # The restored accumulators must match a freshly built context
+        # bit-for-bit, not approximately.
+        fresh = test.make_context()
+        fresh.commit(first)
+        assert_results_match(
+            context.analyze(reference), fresh.analyze(reference), test_name
+        )
+
+    def test_rollback_rejects_future_snapshot(self):
+        context = get_test("ecdf").make_context()
+        context.commit(lc_task(50, 5, name="l1"))
+        token = context.snapshot()
+        context.rollback(token)  # fine: same state
+        fresh = get_test("ecdf").make_context()
+        with pytest.raises(ValueError):
+            fresh.rollback(token)
+
+
+class TestContextModelGuards:
+    def test_edfvd_context_rejects_constrained(self):
+        context = get_test("edf-vd").make_context()
+        with pytest.raises(ValueError, match="implicit-deadline"):
+            context.analyze(hc_task(100, 10, 20, deadline=80))
+
+    def test_amc_context_rejects_unconstrained(self):
+        context = get_test("amc-max").make_context()
+        with pytest.raises(ValueError, match="constrained"):
+            context.analyze(hc_task(100, 10, 20, deadline=150))
+
+
+class TestRollbackDivergence:
+    """Stale tokens from a diverged history must be rejected, not silently
+    restore accumulators that no longer match the committed tasks."""
+
+    def test_stale_token_after_divergent_recommit_raises(self):
+        context = get_test("ecdf").make_context()
+        a = hc_task(100, 10, 20, name="a")
+        b = lc_task(80, 8, name="b")
+        c = lc_task(60, 30, name="c")
+        context.commit(a)
+        token_one = context.snapshot()
+        context.commit(b)
+        token_two = context.snapshot()
+        context.rollback(token_one)
+        context.commit(c)
+        with pytest.raises(ValueError, match="history"):
+            context.rollback(token_two)
+        assert context.tasks == (a, c)
+
+    def test_retry_pattern_reuses_token(self):
+        context = get_test("ecdf").make_context()
+        a = hc_task(100, 10, 20, name="a")
+        context.commit(a)
+        token = context.snapshot()
+        reference = hc_task(150, 15, 30, name="ref")
+        before = context.analyze(reference)
+        for attempt in range(3):
+            context.commit(lc_task(50 + attempt, 5, name=f"try{attempt}"))
+            context.rollback(token)
+        assert context.tasks == (a,)
+        assert_results_match(context.analyze(reference), before, "retry")

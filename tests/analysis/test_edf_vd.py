@@ -1,6 +1,7 @@
 """Unit tests for repro.analysis.edf_vd (the paper's Section III test)."""
 
 import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.analysis.edf_vd import EDFVDTest, edfvd_admits, edfvd_scaling_factor
 from repro.model import TaskSet
@@ -96,3 +97,71 @@ class TestEDFVDTestClass:
         extended = base.with_task(lc_task(100, 20, name="extra"))
         if not EDFVDTest().is_schedulable(base):
             assert not EDFVDTest().is_schedulable(extended)
+
+
+class TestEpsilonBoundaries:
+    """Property tests at the admission boundaries (one named epsilon).
+
+    The ``U_LH <= U_HH`` model guard and the admission inequalities now
+    share ``_EPS`` — these pin the behavior exactly at ``a + c == 1`` and
+    ``b == c``, where a mixed-tolerance implementation (the old hard-coded
+    ``1e-6`` guard) would accept/reject inconsistently.
+    """
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_boundary_a_plus_c_equals_one_admits(self, a, c):
+        from repro.analysis.edf_vd import edfvd_admits
+
+        # Scale (a, c) so a + c lands exactly on the boundary; any b <= c
+        # must then be admitted by the plain-EDF shortcut.
+        total = a + c
+        assume(total > 0.0)
+        a, c = a / total, c / total
+        assume(a + c <= 1.0)  # rescaling can overshoot by one ulp
+        b = c / 2
+        assert edfvd_admits(a, b, c)
+
+    @given(
+        b=st.floats(min_value=0.0, max_value=1.0),
+        a=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_boundary_b_equals_c_never_raises(self, b, a):
+        from repro.analysis.edf_vd import edfvd_admits
+
+        # b == c sits exactly on the model-invariant guard: it must be
+        # treated as valid input (C_L == C_H per task), never rejected.
+        edfvd_admits(a, b, b)
+
+    @given(
+        b=st.floats(min_value=1e-3, max_value=1.0),
+        delta=st.floats(min_value=1e-8, max_value=1e-3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_guard_uses_named_epsilon(self, b, delta):
+        from repro.analysis.edf_vd import _EPS, edfvd_admits
+
+        # Above the epsilon band the guard must reject b > c ...
+        if delta > _EPS * 2:
+            with pytest.raises(ValueError, match="exceeds"):
+                edfvd_admits(0.0, b + delta, b)
+        # ... and within it the input is treated as b == c (float noise).
+        edfvd_admits(0.0, b + _EPS / 2, b)
+
+    def test_guard_rejects_just_above_old_tolerance(self):
+        """b - c in (1e-9, 1e-6]: silently accepted before unification,
+        rejected now — the regression the unification fixes."""
+        from repro.analysis.edf_vd import edfvd_admits
+
+        with pytest.raises(ValueError, match="exceeds"):
+            edfvd_admits(0.3, 0.5 + 1e-7, 0.5)
+
+    def test_admission_boundary_exact(self):
+        from repro.analysis.edf_vd import edfvd_admits
+
+        assert edfvd_admits(0.5, 0.25, 0.5)  # a + c == 1 exactly
+        assert edfvd_admits(0.4, 0.6, 0.6)  # b == c exactly, a + b == 1

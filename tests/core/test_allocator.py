@@ -108,3 +108,98 @@ class TestPartitionResultDataclass:
         )
         with pytest.raises(KeyError):
             result.core_of(lc_task(10, 1))
+
+
+class TestSupportsGuard:
+    def test_unsupported_taskset_raises_typed_error(self):
+        from repro.core import UnsupportedTasksetError
+
+        constrained = TaskSet([hc_task(100, 10, 20, deadline=80)])
+        with pytest.raises(UnsupportedTasksetError) as excinfo:
+            partition(constrained, 2, EDFVDTest(), trivial_strategy())
+        assert excinfo.value.strategy_name == "trivial"
+        assert excinfo.value.test_name == "edf-vd"
+        assert "trivial" in str(excinfo.value)
+        assert "edf-vd" in str(excinfo.value)
+
+    def test_typed_error_is_a_value_error(self):
+        from repro.core import UnsupportedTasksetError
+
+        assert issubclass(UnsupportedTasksetError, ValueError)
+
+    def test_raised_before_any_probe(self):
+        """The guard fires up front, not mid-allocation from the analysis."""
+        from repro.core import UnsupportedTasksetError
+
+        class ExplodingTest(EDFVDTest):
+            def analyze(self, taskset):  # pragma: no cover - must not run
+                raise AssertionError("analyze must not be reached")
+
+        constrained = TaskSet(
+            [hc_task(100, 10, 20, deadline=80), lc_task(50, 5)]
+        )
+        with pytest.raises(UnsupportedTasksetError):
+            partition(constrained, 2, ExplodingTest(), trivial_strategy())
+
+    def test_supported_taskset_unaffected(self, simple_mixed_taskset):
+        result = partition(
+            simple_mixed_taskset, 2, EDFVDTest(), trivial_strategy()
+        )
+        assert result.success
+
+
+class TestIncrementalParity:
+    """partition(incremental=True) must equal the from-scratch walk."""
+
+    def _tasksets(self, deadline_type, m, count=8):
+        from repro.generator import GeneratorConfig, MCTaskSetGenerator
+        from repro.util.rng import derive_rng
+
+        generator = MCTaskSetGenerator(
+            GeneratorConfig(m=m, deadline_type=deadline_type)
+        )
+        rng = derive_rng("alloc-parity", deadline_type, m)
+        out = []
+        targets = [(0.4, 0.2, 0.3), (0.6, 0.3, 0.35), (0.75, 0.35, 0.4)]
+        while len(out) < count:
+            taskset = generator.generate(rng, *targets[len(out) % len(targets)])
+            if taskset is not None:
+                out.append(taskset)
+        return out
+
+    @pytest.mark.parametrize(
+        "algorithm_name,deadline_type",
+        [
+            ("cu-udp-ecdf", "constrained"),
+            ("cu-udp-ey", "constrained"),
+            ("cu-udp-amc", "constrained"),
+            ("cu-udp-edf-vd", "implicit"),
+            ("ca-udp-ecdf", "implicit"),
+        ],
+    )
+    def test_bit_identical_partition_results(self, algorithm_name, deadline_type):
+        from repro.experiments import get_algorithm
+
+        algorithm = get_algorithm(algorithm_name)
+        for m in (2, 3):
+            for taskset in self._tasksets(deadline_type, m):
+                fast = algorithm.partition(taskset, m, incremental=True)
+                slow = algorithm.partition(taskset, m, incremental=False)
+                assert fast.success == slow.success
+                assert fast.assignment == slow.assignment
+                assert fast.cores == slow.cores
+                assert fast.failed_task == slow.failed_task
+
+    def test_opa_test_falls_back_to_from_scratch(self):
+        """Tests without a context (make_context() is None) keep working."""
+        from repro.analysis import AMCmaxTest
+
+        test = AMCmaxTest("opa")
+        assert test.make_context() is None
+        taskset = TaskSet(
+            [hc_task(100, 10, 20), hc_task(150, 15, 30), lc_task(50, 5)]
+        )
+        result = partition(taskset, 2, test, trivial_strategy())
+        assert result.success == partition(
+            taskset, 2, test, trivial_strategy(), incremental=False
+        ).success

@@ -106,3 +106,80 @@ class TestTasksetProvisioning:
         assert [[t.period for t in ts] for ts in first] == [
             [t.period for t in ts] for ts in second
         ]
+
+
+class TestSweepSetupValidation:
+    """Unsupported (algorithm, deadline type) pairings fail at setup."""
+
+    def test_run_bucket_rejects_edfvd_on_constrained(self):
+        from repro.experiments.acceptance import validate_algorithms
+
+        config = SweepConfig(label="t", m=2, deadline_type="constrained")
+        with pytest.raises(ValueError, match="cu-udp-edf-vd"):
+            validate_algorithms(config, [get_algorithm("cu-udp-edf-vd")])
+
+    def test_serial_run_rejects_up_front(self):
+        config = SweepConfig(
+            label="t", m=2, deadline_type="constrained", samples_per_bucket=2
+        )
+        sweep = AcceptanceSweep(config, grid=small_grid())
+        with pytest.raises(ValueError, match="deadline_type"):
+            sweep.run([get_algorithm("cu-udp-edf-vd")])
+
+    def test_decompose_sweep_rejects_up_front(self):
+        from repro.runner.units import decompose_sweep
+
+        config = SweepConfig(label="t", m=2, deadline_type="constrained")
+        with pytest.raises(ValueError, match="cu-udp-edf-vd"):
+            decompose_sweep(config, ["cu-udp-edf-vd"])
+
+    def test_supported_pairings_pass(self):
+        from repro.experiments.acceptance import validate_algorithms
+
+        config = SweepConfig(label="t", m=2, deadline_type="constrained")
+        validate_algorithms(config, [get_algorithm("cu-udp-ecdf")])
+        config = SweepConfig(label="t", m=2, deadline_type="implicit")
+        validate_algorithms(config, [get_algorithm("cu-udp-edf-vd")])
+
+
+class TestStrictSeriesAlignment:
+    """Mismatched merged series must fail loudly, not truncate silently."""
+
+    def _mismatched_result(self):
+        from repro.experiments.acceptance import SweepResult
+
+        config = SweepConfig(label="t", m=2)
+        return SweepResult(
+            config=config,
+            buckets=[0.5, 0.6, 0.7],
+            samples=[5, 5, 5],
+            ratios={"good": [1.0, 0.8, 0.6], "stale": [1.0, 0.9]},
+        )
+
+    def test_ratio_curve_raises_on_length_mismatch(self):
+        result = self._mismatched_result()
+        with pytest.raises(ValueError, match="stale"):
+            result.ratio_curve("stale")
+
+    def test_ratio_curve_ok_when_aligned(self):
+        result = self._mismatched_result()
+        assert result.ratio_curve("good") == [(0.5, 1.0), (0.6, 0.8), (0.7, 0.6)]
+
+    def test_max_improvement_raises_on_length_mismatch(self):
+        result = self._mismatched_result()
+        with pytest.raises(ValueError, match="disagree in length"):
+            result.max_improvement("good", "stale")
+        with pytest.raises(ValueError, match="disagree in length"):
+            result.max_improvement("stale", "good")
+
+    def test_max_improvement_ok_when_aligned(self):
+        from repro.experiments.acceptance import SweepResult
+
+        config = SweepConfig(label="t", m=2)
+        result = SweepResult(
+            config=config,
+            buckets=[0.5, 0.6],
+            samples=[5, 5],
+            ratios={"a": [1.0, 0.8], "b": [0.9, 0.5]},
+        )
+        assert result.max_improvement("a", "b") == pytest.approx(30.0)
