@@ -13,7 +13,10 @@ Systems" (DATE 2017), including:
 * a discrete-event MC simulator used to validate the analyses
   (:mod:`repro.sim`);
 * the experiment harness regenerating every figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* graceful LO-criticality service degradation — imprecise budgets and
+  elastic periods as alternatives to dropping LC work at the mode switch
+  (:mod:`repro.degradation`).
 
 Quickstart::
 
@@ -66,6 +69,13 @@ from repro.core import (
     registered_strategies,
     wfd,
 )
+from repro.degradation import (
+    ElasticPeriod,
+    FullDrop,
+    ImpreciseBudget,
+    ServiceModel,
+    parse_service_model,
+)
 from repro.generator import (
     GeneratorConfig,
     GridPoint,
@@ -117,6 +127,12 @@ __all__ = [
     "bfd",
     "get_strategy",
     "registered_strategies",
+    # degradation
+    "ServiceModel",
+    "FullDrop",
+    "ImpreciseBudget",
+    "ElasticPeriod",
+    "parse_service_model",
     # generator
     "GeneratorConfig",
     "GridPoint",

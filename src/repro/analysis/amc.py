@@ -202,17 +202,20 @@ class _AMCBase(SchedulabilityTest):
                 )
         return AnalysisResult(True, priorities=priority_map(order))
 
-    def make_context(self):
+    def make_context(self, service=None):
         """Incremental context memoizing per-level RTA verdicts (DM only).
 
         OPA re-derives the whole priority order per candidate, so it keeps
         the from-scratch path (None disables the incremental route).
+        The AMC recurrences assume LC tasks are dropped at the switch, so
+        degraded service models are rejected by ``supports_service_model``
+        (the interface default) before any context is created.
         """
         if self.priority_policy != "dm":
             return None
         from repro.analysis.context import AMCContext
 
-        return AMCContext(self)
+        return AMCContext(self, service=service)
 
 
 class AMCrtbTest(_AMCBase):

@@ -68,12 +68,19 @@ class AnalysisContext(abc.ABC):
     float-identical to the from-scratch aggregates, not merely close.
     """
 
-    def __init__(self, test: SchedulabilityTest):
+    def __init__(self, test: SchedulabilityTest, service=None):
         self.test = test
+        #: LC service model of the partitioned task set (None = drop).
+        self.service = service
+        self._degraded = service is not None and not service.is_full_drop
         self._tasks: list[MCTask] = []
         self._u_ll = 0.0
         self._u_lh = 0.0
         self._u_hh = 0.0
+        #: running residual LC HI-mode utilization under ``service`` —
+        #: stays exactly 0.0 under drop semantics (never accumulated), so
+        #: the drop path's float state is untouched.
+        self._u_res = 0.0
         self._implicit = True
         self._constrained = True
         # Rollback-divergence bookkeeping: every commit records the current
@@ -91,7 +98,7 @@ class AnalysisContext(abc.ABC):
 
     def taskset(self) -> TaskSet:
         """The committed tasks as an immutable :class:`TaskSet`."""
-        return TaskSet(self._tasks)
+        return TaskSet(self._tasks, service_model=self.service)
 
     def commit(self, task: MCTask) -> None:
         """Assign ``task`` to this core."""
@@ -102,6 +109,8 @@ class AnalysisContext(abc.ABC):
             self._u_hh += task.utilization_hi
         else:
             self._u_ll += task.utilization_lo
+            if self._degraded:
+                self._u_res += self.service.residual_utilization(task)
         self._implicit = self._implicit and task.implicit_deadline
         self._constrained = self._constrained and task.constrained_deadline
 
@@ -113,6 +122,7 @@ class AnalysisContext(abc.ABC):
             self._u_ll,
             self._u_lh,
             self._u_hh,
+            self._u_res,
             self._implicit,
             self._constrained,
         )
@@ -129,7 +139,7 @@ class AnalysisContext(abc.ABC):
         repeatedly around retries is fine — its retained prefix is
         unchanged in that pattern.)
         """
-        count, generation, u_ll, u_lh, u_hh, implicit, constrained = token
+        count, generation, u_ll, u_lh, u_hh, u_res, implicit, constrained = token
         if count > len(self._tasks):
             raise ValueError("snapshot is newer than the current context state")
         if any(epoch > generation for epoch in self._epochs[:count]):
@@ -144,6 +154,7 @@ class AnalysisContext(abc.ABC):
         self._u_ll = u_ll
         self._u_lh = u_lh
         self._u_hh = u_hh
+        self._u_res = u_res
         self._implicit = implicit
         self._constrained = constrained
 
@@ -158,8 +169,17 @@ class AnalysisContext(abc.ABC):
             a += task.utilization_lo
         return a, b, c
 
+    def _candidate_residual(self, task: MCTask) -> float:
+        """``U_res`` of committed + ``task`` (0.0 under drop semantics)."""
+        if not self._degraded:
+            return 0.0
+        u_res = self._u_res
+        if not task.is_high:
+            u_res += self.service.residual_utilization(task)
+        return u_res
+
     def _candidate_taskset(self, task: MCTask) -> TaskSet:
-        return TaskSet(self._tasks + [task])
+        return TaskSet(self._tasks + [task], service_model=self.service)
 
     # -- probing ------------------------------------------------------------
     @abc.abstractmethod
@@ -196,7 +216,8 @@ class EDFVDContext(AnalysisContext):
                 "use ECDFTest/EYTest for constrained deadlines"
             )
         a, b, c = self._candidate_sums(task)
-        if not edfvd_admits(a, b, c):
+        u_res = self._candidate_residual(task)
+        if not edfvd_admits(a, b, c, u_res):
             return AnalysisResult(
                 False,
                 detail=(
@@ -204,7 +225,9 @@ class EDFVDContext(AnalysisContext):
                     "fails EDF-VD utilization test"
                 ),
             )
-        return AnalysisResult(True, scaling_factor=scaling_factor_from_sums(a, b, c))
+        return AnalysisResult(
+            True, scaling_factor=scaling_factor_from_sums(a, b, c, u_res)
+        )
 
 
 class DemandContext(AnalysisContext):
@@ -235,8 +258,9 @@ class DemandContext(AnalysisContext):
         test: SchedulabilityTest,
         stages: tuple[tuple[str, bool], ...],
         horizon_cap: int,
+        service=None,
     ):
-        super().__init__(test)
+        super().__init__(test, service=service)
         self.stages = stages
         self.horizon_cap = horizon_cap
         self._memo: dict = {}
@@ -298,8 +322,8 @@ class AMCContext(AnalysisContext):
     recomputed, across probes and commits alike.
     """
 
-    def __init__(self, test: SchedulabilityTest):
-        super().__init__(test)
+    def __init__(self, test: SchedulabilityTest, service=None):
+        super().__init__(test, service=service)
         self._memo: dict[tuple[int, frozenset[int]], bool] = {}
 
     def analyze(self, task: MCTask) -> AnalysisResult:

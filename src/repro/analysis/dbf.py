@@ -11,18 +11,34 @@ LO mode
         dbf_LO(i, l) = max(0, floor((l - d_i) / T_i) + 1) * C_i^L
 
 HI mode
-    LC tasks contribute nothing (they are dropped at the mode switch).  An
-    HC task behaves like a sporadic task whose deadline is the *residual*
-    ``D_i - Dv_i``, with a correction for the carry-over job (the job active
-    at the mode-switch instant): if the switch occurs ``d`` time units before
-    the job's virtual deadline, LO-mode schedulability guarantees the job
-    already executed at least ``C_i^L - d``, so::
+    Under the classical drop-at-switch semantics LC tasks contribute
+    nothing.  An HC task behaves like a sporadic task whose deadline is the
+    *residual* ``D_i - Dv_i``, with a correction for the carry-over job (the
+    job active at the mode-switch instant): if the switch occurs ``d`` time
+    units before the job's virtual deadline, LO-mode schedulability
+    guarantees the job already executed at least ``C_i^L - d``, so::
 
         dbf_HI(i, l) = (floor(x / T_i) + 1) * C_i^H - max(0, C_i^L - x mod T_i)
 
     for ``x = l - (D_i - Dv_i) >= 0`` (0 otherwise).  This is the EY bound;
     it is tight for the single-task abstraction (the carry-over position that
     maximizes demand is exactly ``d = x mod T_i``).
+
+Residual LC service (degradation models, :mod:`repro.degradation`)
+    When the task set carries a service model that keeps LC tasks alive in
+    HI mode (imprecise budgets ``C^HI = floor(rho C^L)`` or elastic periods
+    ``T^HI = ceil(lambda T)``), each such LC task contributes the same
+    EY-shaped bound with residual deadline 0 (its LO deadline *is* its real
+    deadline), HI budget ``C^HI`` and HI period ``T^HI``::
+
+        dbf_HI^LC(i, l) = (floor(l / T_i^HI) + 1) * C_i^HI
+                          - min(C_i^HI, max(0, C_i^L - l mod T_i^HI))
+
+    The extra inner ``min`` clamps the carry-over reduction at the degraded
+    budget: LO-mode progress (``>= C^L - d`` by deadline distance ``d``)
+    can discharge at most the whole degraded allowance.  For HC tasks the
+    clamp is inert (``C^H >= C^L``), which is why one generalized formula
+    serves both and the drop-at-switch results stay bit-identical.
 
 Trigger refinement (used by ECDF)
     In a partitioned system a core enters HI mode only when one of *its own*
@@ -57,6 +73,9 @@ __all__ = [
     "LoShrinkProbe",
     "sporadic_dbf",
     "hi_mode_dbf",
+    "lc_hi_mode_dbf",
+    "lc_hi_mode_entries",
+    "lc_hi_mode_tasks",
 ]
 
 #: Above this horizon the dbf tests conservatively reject (sound: they never
@@ -94,6 +113,53 @@ def hi_mode_dbf(task: MCTask, virtual_deadline: int, length: int) -> int:
     jobs = x // task.period + 1
     reduction = max(0, task.wcet_lo - (x % task.period))
     return jobs * task.wcet_hi - reduction
+
+
+def lc_hi_mode_dbf(
+    budget: int, period: int, wcet_lo: int, length: int
+) -> int:
+    """HI-mode demand bound of one degraded LC task (scalar reference).
+
+    ``budget``/``period`` are the HI-mode sporadic parameters the service
+    model assigns (see module docstring); ``wcet_lo`` is the LO-mode budget
+    whose guaranteed progress discharges the carry-over job.  Used by tests
+    as the readable specification of the batch path.
+    """
+    if budget <= 0 or length < 0:
+        return 0
+    jobs = length // period + 1
+    reduction = min(budget, max(0, wcet_lo - (length % period)))
+    return jobs * budget - reduction
+
+
+def lc_hi_mode_entries(taskset: TaskSet) -> list[tuple[int, "_ModeTask"]]:
+    """``(task_id, HI-mode _ModeTask)`` for each contributing LC task of
+    ``taskset`` under its attached service model (empty under
+    drop-at-switch).
+
+    The single definition of the degraded-LC abstraction — residual
+    deadline 0, degraded budget/period, the LO budget as the carry-over
+    reduction allowance — shared by :class:`DemandScenario` and the
+    memo-backed :class:`~repro.analysis.vdtuning.DemandEngine` (which also
+    needs the ids for its HI-mode memo keys), so the two can never drift
+    apart and break their bit-identical parity.
+    """
+    service = taskset.service_model
+    if service is None or service.is_full_drop:
+        return []
+    out = []
+    for task in taskset:
+        params = service.lc_hi_parameters(task)
+        if params is None:
+            continue
+        budget, period = params
+        out.append((task.task_id, _ModeTask(budget, 0, period, task.wcet_lo)))
+    return out
+
+
+def lc_hi_mode_tasks(taskset: TaskSet) -> list["_ModeTask"]:
+    """The :class:`_ModeTask` half of :func:`lc_hi_mode_entries`."""
+    return [mode_task for _, mode_task in lc_hi_mode_entries(taskset)]
 
 
 #: Breakpoint chunk size for the early-exit violation scan.  During
@@ -149,6 +215,10 @@ class DemandScenario:
         self.horizon_cap = horizon_cap
         self._lo: list[_ModeTask] = []
         self._hi: list[_ModeTask] = []
+        #: degraded LC tasks' HI-mode abstraction (empty under drop
+        #: semantics); appended *after* the HC entries wherever the two are
+        #: combined, so the trigger refinement can stay HC-only by count.
+        self._hi_lc: list[_ModeTask] = lc_hi_mode_tasks(taskset)
         for task in taskset:
             dv = virtual_deadlines.get(task.task_id, task.deadline)
             if task.is_high:
@@ -228,19 +298,33 @@ class DemandScenario:
 
     @staticmethod
     def _hi_demand(
-        tasks: list[_ModeTask], points: np.ndarray, refine: bool
+        tasks: list[_ModeTask],
+        points: np.ndarray,
+        refine: bool,
+        n_trigger: int | None = None,
     ) -> np.ndarray:
+        """Total HI-mode demand of ``tasks`` at each point.
+
+        The per-task carry-over reduction is clamped at the task's HI
+        budget (inert for HC tasks, where ``wcet >= wcet_lo``; load-bearing
+        for degraded LC entries, whose budget may undercut ``C^L``).  Only
+        the first ``n_trigger`` tasks (default: all — correct whenever the
+        list is HC-only) can be the mode-switch trigger; degraded LC
+        entries never trigger, so callers mixing them in pass the HC count.
+        """
+        if n_trigger is None:
+            n_trigger = len(tasks)
         total = np.zeros(len(points), dtype=np.int64)
         min_trigger_cut = None
-        for t in tasks:
+        for index, t in enumerate(tasks):
             x = points - t.deadline
             active = x >= 0
             xa = np.where(active, x, 0)
             jobs = xa // t.period + 1
             residue = xa % t.period
-            reduction = np.maximum(0, t.wcet_lo - residue)
+            reduction = np.minimum(t.wcet, np.maximum(0, t.wcet_lo - residue))
             total += np.where(active, jobs * t.wcet - reduction, 0)
-            if refine:
+            if refine and index < n_trigger:
                 cut = np.where(active, np.minimum(t.wcet_lo, residue), 0)
                 if min_trigger_cut is None:
                     min_trigger_cut = cut
@@ -275,24 +359,30 @@ class DemandScenario:
     def hi_violation(self, refine: bool = False) -> int | None:
         """Smallest interval length where HI-mode demand exceeds supply.
 
-        ``refine`` enables the ECDF trigger refinement.  A core without HC
-        tasks can never switch modes locally, so it vacuously passes.
-        As in :meth:`lo_violation`, HI utilization above 1 short-circuits
-        with the first residual deadline as a marker.
+        ``refine`` enables the ECDF trigger refinement (the trigger must be
+        a *local HC* task, so degraded LC entries never contribute to the
+        refinement min).  A core without HC tasks can never switch modes
+        locally, so it vacuously passes — degraded LC demand included, as
+        it only materializes after a switch.  As in :meth:`lo_violation`,
+        HI utilization above 1 short-circuits with the first residual
+        deadline as a marker.
         """
         if not self._hi:
             return None
-        horizon = self._horizon(self._hi, self.horizon_cap)
+        tasks = self._hi + self._hi_lc
+        horizon = self._horizon(tasks, self.horizon_cap)
         if horizon is None:
-            return min(t.deadline for t in self._hi)
+            return min(t.deadline for t in tasks)
         # Even at horizon 0 the carry-over term can demand C_H - C_L at l=0;
         # always include the breakpoints up to at least the first deadlines.
-        horizon = max(horizon, max(t.deadline for t in self._hi))
+        horizon = max(horizon, max(t.deadline for t in tasks))
         if horizon > self.horizon_cap:
             raise HorizonExceeded(f"bound {horizon} exceeds cap {self.horizon_cap}")
-        points = self._breakpoints(self._hi, horizon, ramps=True)
+        points = self._breakpoints(tasks, horizon, ramps=True)
+        n_trigger = len(self._hi)
         return _first_violation(
-            points, lambda chunk: self._hi_demand(self._hi, chunk, refine)
+            points,
+            lambda chunk: self._hi_demand(tasks, chunk, refine, n_trigger),
         )
 
     def schedulable(self, refine: bool = False) -> bool:
@@ -319,7 +409,8 @@ class DemandScenario:
     def hi_demand_at(self, length: int, refine: bool = False) -> int:
         """Total HI-mode demand at one interval length."""
         pts = np.asarray([length], dtype=np.int64)
-        return int(self._hi_demand(self._hi, pts, refine)[0])
+        tasks = self._hi + self._hi_lc
+        return int(self._hi_demand(tasks, pts, refine, len(self._hi))[0])
 
 
 class LoShrinkProbe:

@@ -70,11 +70,15 @@ class ECDFTest(SchedulabilityTest):
             detail=outcome.detail,
         )
 
-    def make_context(self):
+    def supports_service_model(self, service) -> bool:
+        """The dbf machinery carries the residual LC HI-mode demand term."""
+        return True
+
+    def make_context(self, service=None):
         """Incremental context sharing dbf work across probes and stages."""
         from repro.analysis.context import DemandContext
 
-        return DemandContext(self, self.stages, self.horizon_cap)
+        return DemandContext(self, self.stages, self.horizon_cap, service=service)
 
 
 register_test("ecdf", ECDFTest)

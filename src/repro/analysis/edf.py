@@ -66,6 +66,12 @@ class EDFTest(SchedulabilityTest):
         self.mode = mode
         self.name = f"edf-{mode}"
 
+    def supports_service_model(self, service) -> bool:
+        """EDF never drops LC work: the reservation certificate budgets
+        full LC service at all times, which dominates every degraded
+        service level, so any service model is (trivially) covered."""
+        return True
+
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
         use_hi = self.mode == "reservation"
         if taskset.is_implicit_deadline:

@@ -42,43 +42,66 @@ __all__ = [
 _EPS = 1e-9
 
 
-def edfvd_admits(u_ll: float, u_lh: float, u_hh: float) -> bool:
+def edfvd_admits(
+    u_ll: float, u_lh: float, u_hh: float, u_res: float = 0.0
+) -> bool:
     """The EDF-VD utilization test on raw per-core sums.
 
     Pure-function form used by partitioners, property tests and the worked
     examples of Figures 1 and 2.
 
+    ``u_res`` is the HI-mode utilization the LC tasks *retain* under a
+    degraded service model (:mod:`repro.degradation`): 0 for the classical
+    drop-at-switch semantics, ``sum(rho * u_i)``-style sums otherwise.  The
+    HI-mode condition generalizes to ``x*a + (1-x)*U_res + c <= 1`` — the
+    imprecise-MC EDF-VD condition (Liu et al., RTSS 2016, "EDF-VD
+    scheduling of MC systems with degraded quality guarantees"), which
+    degenerates term-by-term to Baruah's ``x*a + c <= 1`` at ``U_res = 0``.
+    The condition is non-decreasing in ``x`` (since ``U_res <= a``), so the
+    smallest LO-feasible ``x = b / (1 - a)`` remains the right choice.
+
     ``u_lh <= u_hh`` is a model invariant (``C_L <= C_H`` per task); inputs
     violating it are rejected to protect the ``a + c <= 1`` shortcut, which
-    relies on ``b <= c``.
+    relies on ``b <= c``.  Similarly ``u_res <= u_ll`` (no service model
+    may increase an LC task's rate).
     """
     a, b, c = u_ll, u_lh, u_hh
     if min(a, b, c) < -_EPS:
         raise ValueError(f"utilizations must be non-negative: {(a, b, c)}")
     if b > c + _EPS:
         raise ValueError(f"U_LH ({b}) exceeds U_HH ({c}); violates C_L <= C_H")
+    if not -_EPS <= u_res <= a + _EPS:
+        raise ValueError(
+            f"U_res ({u_res}) outside [0, U_LL={a}]; residual LC "
+            "utilization cannot exceed the LO-mode LC utilization"
+        )
     if a + c <= 1.0 + _EPS:
+        # Plain EDF with HC budgeted at C_H: covers HI mode too, because
+        # U_res + c <= a + c <= 1 (degradation only removes LC demand).
         return True
     if a + b > 1.0 + _EPS or c > 1.0 + _EPS:
         return False
-    # x * a + c <= 1 with x = b / (1 - a); guarded because a < 1 here
-    # (a + b <= 1 and b > 0, else a + c <= 1 would have held).
+    # x * a + (1-x) * U_res + c <= 1 with x = b / (1 - a); guarded because
+    # a < 1 here (a + b <= 1 and b > 0, else a + c <= 1 would have held).
     if a >= 1.0 - _EPS:
         return False
     x = b / (1.0 - a)
-    return x * a + c <= 1.0 + _EPS
+    return x * a + (1.0 - x) * u_res + c <= 1.0 + _EPS
 
 
-def scaling_factor_from_sums(u_ll: float, u_lh: float, u_hh: float) -> float:
+def scaling_factor_from_sums(
+    u_ll: float, u_lh: float, u_hh: float, u_res: float = 0.0
+) -> float:
     """:func:`edfvd_scaling_factor` on raw per-core sums.
 
     Shared by the :class:`TaskSet` wrapper below and the incremental
     :class:`~repro.analysis.context.EDFVDContext`, which maintains the sums
     as running accumulators; keeping one arithmetic path guarantees both
-    produce the identical float.
+    produce the identical float.  ``u_res`` only affects admission — the
+    scaling factor itself depends on the LO-mode sums alone.
     """
     a, b, c = u_ll, u_lh, u_hh
-    if not edfvd_admits(a, b, c):
+    if not edfvd_admits(a, b, c, u_res):
         raise ValueError("task set fails the EDF-VD test; no valid scaling factor")
     if a + c <= 1.0 + _EPS or b == 0:
         return 1.0
@@ -93,7 +116,9 @@ def edfvd_scaling_factor(taskset: TaskSet) -> float:
     (there is no correct scaling factor to return).
     """
     util = taskset.utilization
-    return scaling_factor_from_sums(util.u_ll, util.u_lh, util.u_hh)
+    return scaling_factor_from_sums(
+        util.u_ll, util.u_lh, util.u_hh, taskset.residual_utilization
+    )
 
 
 class EDFVDTest(SchedulabilityTest):
@@ -109,11 +134,17 @@ class EDFVDTest(SchedulabilityTest):
         """Only implicit-deadline sweeps can pair with EDF-VD."""
         return deadline_type == "implicit"
 
-    def make_context(self):
+    def supports_service_model(self, service) -> bool:
+        """The utilization test carries the residual LC HI-mode term, so
+        every degradation model expressible as a residual utilization —
+        i.e. all of them — is analyzable."""
+        return True
+
+    def make_context(self, service=None):
         """O(1)-probe incremental context over running utilization sums."""
         from repro.analysis.context import EDFVDContext
 
-        return EDFVDContext(self)
+        return EDFVDContext(self, service=service)
 
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
         if not taskset.is_implicit_deadline:
@@ -122,7 +153,9 @@ class EDFVDTest(SchedulabilityTest):
                 "use ECDFTest/EYTest for constrained deadlines"
             )
         util = taskset.utilization
-        ok = edfvd_admits(util.u_ll, util.u_lh, util.u_hh)
+        ok = edfvd_admits(
+            util.u_ll, util.u_lh, util.u_hh, taskset.residual_utilization
+        )
         if not ok:
             return AnalysisResult(
                 False,

@@ -48,11 +48,15 @@ class EYTest(SchedulabilityTest):
             detail=outcome.detail,
         )
 
-    def make_context(self):
+    def supports_service_model(self, service) -> bool:
+        """The dbf machinery carries the residual LC HI-mode demand term."""
+        return True
+
+    def make_context(self, service=None):
         """Incremental context sharing dbf work across per-core probes."""
         from repro.analysis.context import DemandContext
 
-        return DemandContext(self, _EY_STAGES, self.horizon_cap)
+        return DemandContext(self, _EY_STAGES, self.horizon_cap, service=service)
 
 
 register_test("ey", EYTest)

@@ -87,7 +87,22 @@ class SchedulabilityTest(abc.ABC):
         """
         return deadline_type in ("implicit", "constrained")
 
-    def make_context(self) -> "AnalysisContext | None":
+    def supports_service_model(self, service) -> bool:
+        """Whether the test soundly analyzes LC tasks under ``service``.
+
+        ``service`` is a :class:`~repro.degradation.service.ServiceModel`
+        or None.  The default accepts only drop-at-switch semantics (None
+        or ``FullDrop``); tests whose analysis carries the residual LC
+        HI-mode demand term (EDF-VD, EY, ECDF) and tests that never drop
+        LC work in the first place (EDF reservation) override to True.
+        Sweep/campaign setup and :func:`repro.core.allocator.partition`
+        both consult this, so an unsupported (test, service model) pairing
+        fails up front with a typed error instead of silently analyzing
+        degraded task sets with drop semantics.
+        """
+        return service is None or service.is_full_drop
+
+    def make_context(self, service=None) -> "AnalysisContext | None":
         """A fresh incremental per-core analysis context, or None.
 
         Tests that admit incremental evaluation return a new
@@ -96,6 +111,10 @@ class SchedulabilityTest(abc.ABC):
         rebuilt task set; tests without one return None and partitioning
         falls back to the from-scratch path (see
         :func:`repro.core.allocator.partition`).
+
+        ``service`` is the LC service model of the task set being
+        partitioned (None = drop-at-switch); contexts carry it so candidate
+        task sets and running residual-utilization sums reflect it.
         """
         return None
 

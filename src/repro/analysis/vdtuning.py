@@ -59,6 +59,7 @@ from repro.analysis.dbf import (
     HorizonExceeded,
     _ModeTask,
     hi_mode_dbf,
+    lc_hi_mode_entries,
 )
 
 __all__ = [
@@ -182,13 +183,19 @@ def _hi_demand_columns(tasks: list[_ModeTask]) -> tuple[np.ndarray, ...]:
 
 
 def _hi_demand_2d(
-    columns: tuple[np.ndarray, ...], points: np.ndarray, refine: bool
+    columns: tuple[np.ndarray, ...],
+    points: np.ndarray,
+    refine: bool,
+    n_trigger: int | None = None,
 ) -> np.ndarray:
     """:meth:`DemandScenario._hi_demand` vectorized across tasks.
 
     Same integer arithmetic on a (tasks × points) grid — the per-point
     totals and the refinement min are sums/minima of the identical int64
-    terms, so the result array equals the per-task loop's exactly.
+    terms, so the result array equals the per-task loop's exactly.  As in
+    the scenario path, the carry-over reduction is clamped at the HI
+    budget (inert for HC rows) and only the first ``n_trigger`` rows (the
+    HC tasks; degraded LC rows come after) feed the trigger-refinement min.
     """
     deadline, period, wcet, wcet_lo = columns
     x = points[None, :] - deadline
@@ -196,29 +203,40 @@ def _hi_demand_2d(
     xa = np.where(active, x, 0)
     jobs = xa // period + 1
     residue = xa % period
-    reduction = np.maximum(0, wcet_lo - residue)
+    reduction = np.minimum(wcet, np.maximum(0, wcet_lo - residue))
     total = np.where(active, jobs * wcet - reduction, 0).sum(axis=0)
     if refine:
-        total -= np.where(active, np.minimum(wcet_lo, residue), 0).min(axis=0)
+        cut = np.where(active, np.minimum(wcet_lo, residue), 0)
+        if n_trigger is not None:
+            cut = cut[:n_trigger]
+        total -= cut.min(axis=0)
     return total
 
 
-def _hi_point_demand(tasks: list[_ModeTask], length: int, refine: bool) -> int:
+def _hi_point_demand(
+    tasks: list[_ModeTask],
+    length: int,
+    refine: bool,
+    n_trigger: int | None = None,
+) -> int:
     """Scalar transcription of :meth:`DemandScenario._hi_demand` for one
-    point (same integer terms, same inactive-task-zero refinement min)."""
+    point (same integer terms, same inactive-task-zero refinement min,
+    same HC-only trigger restriction)."""
+    if n_trigger is None:
+        n_trigger = len(tasks)
     total = 0
     min_cut = None
-    for mode_task in tasks:
+    for index, mode_task in enumerate(tasks):
         x = length - mode_task.deadline
         if x >= 0:
             residue = x % mode_task.period
-            total += (x // mode_task.period + 1) * mode_task.wcet - max(
-                0, mode_task.wcet_lo - residue
+            total += (x // mode_task.period + 1) * mode_task.wcet - min(
+                mode_task.wcet, max(0, mode_task.wcet_lo - residue)
             )
             cut = min(mode_task.wcet_lo, residue)
         else:
             cut = 0
-        if min_cut is None or cut < min_cut:
+        if index < n_trigger and (min_cut is None or cut < min_cut):
             min_cut = cut
     if refine and min_cut is not None:
         total -= min_cut
@@ -230,6 +248,7 @@ def _windowed_hi_check(
     meta: tuple,
     refine: bool,
     not_before: int,
+    n_trigger: int | None = None,
 ) -> tuple[int | None, int | None]:
     """Fused :meth:`DemandScenario.hi_violation` + demand-at-violation via
     lazily generated windows.
@@ -254,13 +273,13 @@ def _windowed_hi_check(
     horizon = state[1]
     if horizon is None:
         violation = min(t.deadline for t in tasks)
-        return (violation, _hi_point_demand(tasks, violation, refine))
+        return (violation, _hi_point_demand(tasks, violation, refine, n_trigger))
     width = max(int(64 / density), 1)
     start = not_before
     while start <= horizon:
         points = _window_points(tasks, horizon, start, start + width, ramps=True)
         if len(points):
-            demand = _hi_demand_2d(columns, points, refine)
+            demand = _hi_demand_2d(columns, points, refine, n_trigger)
             mask = demand > points
             if mask.any():
                 where = int(np.argmax(mask))
@@ -303,13 +322,24 @@ class DemandEngine:
         self._last: tuple[tuple[int, ...], DemandScenario] | None = None
         self._high = tuple(t for t in taskset if t.is_high)
         self._high_ids = tuple(t.task_id for t in self._high)
+        #: degraded LC tasks' HI-mode abstraction (empty under drop
+        #: semantics) — vd-independent, appended after the HC entries —
+        #: plus their identity suffix for HI-mode memo keys: with degraded
+        #: service the HI checks depend on the candidate's LC tasks too, so
+        #: probes with different LC members must not share HI entries.
+        #: Both stay empty (hence key-shape preserving) under drop
+        #: semantics.  The abstraction itself comes from the single shared
+        #: definition in :func:`repro.analysis.dbf.lc_hi_mode_entries`.
+        entries = lc_hi_mode_entries(taskset)
+        self._lc_hi = [mode_task for _, mode_task in entries]
+        self._lc_sig = tuple(task_id for task_id, _ in entries)
         #: per-candidate cache of the uniform-scaling search outcome
         self._uniform: dict[bool, tuple] = {}
 
     def _hi_tasks(self, vd: dict[int, int]) -> list[_ModeTask]:
         """HI-mode :class:`_ModeTask` list for ``vd`` — field-identical to
-        ``DemandScenario(...)._hi``, built from the shared memo without
-        touching the LO side (the HI checks never read it)."""
+        ``DemandScenario(...)._hi + ._hi_lc``, built from the shared memo
+        without touching the LO side (the HI checks never read it)."""
         memo = self._memo
         out = []
         for t in self._high:
@@ -321,6 +351,7 @@ class DemandEngine:
                 )
                 memo[key] = mode_task
             out.append(mode_task)
+        out.extend(self._lc_hi)
         return out
 
     # -- signatures ---------------------------------------------------------
@@ -331,8 +362,18 @@ class DemandEngine:
         )
 
     def _sig_high(self, vd: dict[int, int]) -> tuple:
-        """(id, Dv) for the HC tasks only (the HI checks ignore LC tasks)."""
-        return tuple((tid, vd[tid]) for tid in self._high_ids)
+        """(id, Dv) for the HC tasks, plus the degraded-LC identity suffix.
+
+        Under drop semantics the HI checks ignore LC tasks entirely and the
+        suffix is empty — the historical key shape.  Under a degraded
+        service model the LC members contribute HI demand, so they join the
+        key (ids only: their parameters derive from the engine's fixed
+        service model).
+        """
+        sig = tuple((tid, vd[tid]) for tid in self._high_ids)
+        if self._lc_sig:
+            return sig + (("lc",) + self._lc_sig,)
+        return sig
 
     def _sig_others(self, vd: dict[int, int], excluded: int) -> tuple:
         """(id, effective LO deadline) for every task except ``excluded``."""
@@ -528,11 +569,18 @@ class DemandEngine:
         sig = self._sig_high(vd)
 
         def compute() -> tuple[int | None, int | None]:
-            tasks = self._hi_tasks(vd)
-            if not tasks:
+            # No local HC task means no local mode switch: degraded LC
+            # demand never materializes, so the check passes vacuously
+            # (mirrors DemandScenario.hi_violation's empty-_hi early out).
+            if not self._high:
                 return (None, None)
+            tasks = self._hi_tasks(vd)
             return _windowed_hi_check(
-                tasks, self._hi_meta(sig, tasks), refine, not_before
+                tasks,
+                self._hi_meta(sig, tasks),
+                refine,
+                not_before,
+                len(self._high),
             )
 
         return self._cached(("hi", sig, refine), compute)
@@ -575,7 +623,9 @@ class DemandEngine:
             return self.scenario(vd).hi_demand_at(length, refine=refine)
         return self._cached(
             ("hid", self._sig_high(vd), length, refine),
-            lambda: _hi_point_demand(self._hi_tasks(vd), length, refine),
+            lambda: _hi_point_demand(
+                self._hi_tasks(vd), length, refine, len(self._high)
+            ),
         )
 
     def hi_gain(self, task: MCTask, vd_now: int, shrink: int, length: int) -> int:

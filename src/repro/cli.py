@@ -57,14 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--nmin", type=int, default=None, help="min task count")
     gen.add_argument("--nmax", type=int, default=None, help="max task count")
+    gen.add_argument(
+        "--degradation-factor",
+        type=float,
+        default=None,
+        help="per-task degraded LC budgets: wcet_degraded = floor(f * C_L)",
+    )
     gen.add_argument("--seed", default="cli")
     gen.add_argument("-o", "--output", help="write JSON here (default stdout)")
+
+    service_help = (
+        "LC service model in HI mode: full-drop (default), "
+        "imprecise:<rho> or elastic:<lambda>"
+    )
 
     check = sub.add_parser("check", help="run a schedulability test")
     check.add_argument("taskset", help="task-set JSON file ('-' for stdin)")
     check.add_argument(
         "--test", choices=registered_tests(), default="ecdf"
     )
+    check.add_argument("--service", default="full-drop", help=service_help)
 
     part = sub.add_parser("partition", help="partition a task set")
     part.add_argument("taskset", help="task-set JSON file ('-' for stdin)")
@@ -73,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=registered_strategies(), default="cu-udp"
     )
     part.add_argument("--test", choices=registered_tests(), default="edf-vd")
+    part.add_argument("--service", default="full-drop", help=service_help)
 
     simulate = sub.add_parser(
         "simulate", help="validate an accepted set by simulation"
@@ -81,12 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--test", choices=registered_tests(), default="ecdf"
     )
+    simulate.add_argument("--service", default="full-drop", help=service_help)
     simulate.add_argument("--horizon", type=int, default=20_000)
     simulate.add_argument("--seed", default="cli-sim")
 
     figure = sub.add_parser("figure", help="run a paper figure experiment")
     figure.add_argument(
-        "name", choices=("fig3", "fig4", "fig5", "fig6a", "fig6b")
+        "name",
+        choices=("fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7a", "fig7b"),
     )
     figure.add_argument("--samples", type=int, default=None)
     figure.add_argument(
@@ -154,11 +169,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_taskset(path: str) -> TaskSet:
+def _load_taskset(path: str, service: str = "full-drop") -> TaskSet:
     if path == "-":
-        return TaskSet.from_dicts(json.load(sys.stdin))
-    with open(path, encoding="utf-8") as handle:
-        return TaskSet.from_dicts(json.load(handle))
+        taskset = TaskSet.from_dicts(json.load(sys.stdin))
+    else:
+        with open(path, encoding="utf-8") as handle:
+            taskset = TaskSet.from_dicts(json.load(handle))
+    if service and service != "full-drop":
+        from repro.degradation import parse_service_model
+
+        taskset = taskset.with_service_model(parse_service_model(service))
+    return taskset
 
 
 def _cmd_generate(args) -> int:
@@ -168,6 +189,7 @@ def _cmd_generate(args) -> int:
         deadline_type=args.deadline,
         n_min=args.nmin,
         n_max=args.nmax,
+        degradation_factor=args.degradation_factor,
     )
     rng = derive_rng("cli-generate", args.seed)
     taskset = generator.generate(rng, args.uhh, args.ulh, args.ull)
@@ -184,9 +206,26 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _require_service_support(test, taskset) -> None:
+    """Exit with a clear error when ``test`` cannot honor the service model.
+
+    ``partition`` and the sweep harness gate this themselves; the direct
+    ``check``/``simulate`` paths would otherwise silently analyze a
+    degraded task set with drop-at-switch semantics.
+    """
+    service = taskset.service_model
+    if not test.supports_service_model(service):
+        raise SystemExit(
+            f"test {test.name!r} does not analyze LC tasks under the "
+            f"{service.spec()!r} service model (e.g. the AMC analyses "
+            "assume drop-at-switch); pick edf-vd/ey/ecdf or drop --service"
+        )
+
+
 def _cmd_check(args) -> int:
-    taskset = _load_taskset(args.taskset)
+    taskset = _load_taskset(args.taskset, args.service)
     test = get_test(args.test)
+    _require_service_support(test, taskset)
     result = test.analyze(taskset)
     verdict = "SCHEDULABLE" if result.schedulable else "NOT SCHEDULABLE"
     print(f"{test.name}: {verdict}")
@@ -200,7 +239,7 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_partition(args) -> int:
-    taskset = _load_taskset(args.taskset)
+    taskset = _load_taskset(args.taskset, args.service)
     result = partition(
         taskset, args.m, get_test(args.test), get_strategy(args.strategy)
     )
@@ -211,8 +250,9 @@ def _cmd_partition(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.sim import validate_against_simulation
 
-    taskset = _load_taskset(args.taskset)
+    taskset = _load_taskset(args.taskset, args.service)
     test = get_test(args.test)
+    _require_service_support(test, taskset)
     if not test.is_schedulable(taskset):
         print(f"{test.name} rejects this task set; nothing to validate")
         return 2

@@ -43,7 +43,7 @@ from repro.core.strategies import (
     get_strategy,
     registered_strategies,
 )
-from repro.core.udp import ca_udp, cu_udp
+from repro.core.udp import ca_udp, ca_udp_res, cu_udp, cu_udp_res
 
 __all__ = [
     "PartitionResult",
@@ -53,6 +53,8 @@ __all__ = [
     "partition",
     "ca_udp",
     "cu_udp",
+    "ca_udp_res",
+    "cu_udp_res",
     "ca_wu_f",
     "ca_nosort_f_f",
     "ca_f_f",

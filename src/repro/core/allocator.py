@@ -73,19 +73,27 @@ class UnsupportedTasksetError(ValueError):
 class ProcessorState:
     """Mutable per-core accumulator used during allocation.
 
-    Tracks the assigned tasks and the three utilization sums the fit rules
-    key on (``U_LL``, ``U_LH``, ``U_HH`` of the core).
+    Tracks the assigned tasks and the utilization sums the fit rules key on
+    (``U_LL``, ``U_LH``, ``U_HH`` of the core, plus — when a degraded LC
+    service model is in force — the residual LC HI-mode utilization
+    ``U_res``).  ``service`` is the task set's LC service model (None =
+    drop-at-switch); it propagates into the core task sets so per-core
+    analyses see it.
     """
 
-    __slots__ = ("index", "tasks", "u_ll", "u_lh", "u_hh", "_taskset")
+    __slots__ = ("index", "tasks", "u_ll", "u_lh", "u_hh", "u_res",
+                 "service", "_degraded", "_taskset")
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, service=None):
         self.index = index
+        self.service = service
+        self._degraded = service is not None and not service.is_full_drop
         self.tasks: list[MCTask] = []
         self.u_ll = 0.0
         self.u_lh = 0.0
         self.u_hh = 0.0
-        self._taskset: TaskSet | None = TaskSet()
+        self.u_res = 0.0
+        self._taskset: TaskSet | None = TaskSet((), service_model=service)
 
     def add(self, task: MCTask) -> None:
         """Assign ``task`` to this core."""
@@ -95,12 +103,23 @@ class ProcessorState:
             self.u_hh += task.utilization_hi
         else:
             self.u_ll += task.utilization_lo
+            if self._degraded:
+                self.u_res += self.service.residual_utilization(task)
         self._taskset = None
 
     @property
     def utilization_difference(self) -> float:
         """``U_HH(core) - U_LH(core)`` — the UDP balancing metric."""
         return self.u_hh - self.u_lh
+
+    @property
+    def residual_difference(self) -> float:
+        """``U_HH(core) + U_res(core) - U_LH(core)`` — the degradation-aware
+        UDP balancing metric: the extra utilization the core absorbs at a
+        mode switch when LC tasks keep residual service.  Equals
+        :attr:`utilization_difference` under drop semantics (``U_res`` is
+        identically 0)."""
+        return self.u_hh + self.u_res - self.u_lh
 
     @property
     def utilization_lo(self) -> float:
@@ -110,7 +129,7 @@ class ProcessorState:
     def taskset(self) -> TaskSet:
         """The core's current tasks as an immutable :class:`TaskSet`."""
         if self._taskset is None:
-            self._taskset = TaskSet(self.tasks)
+            self._taskset = TaskSet(self.tasks, service_model=self.service)
         return self._taskset
 
 
@@ -206,10 +225,20 @@ def partition(
             "(see SchedulabilityTest.supports, e.g. EDF-VD requires "
             "implicit deadlines)",
         )
-    processors = [ProcessorState(i) for i in range(m)]
+    service = taskset.service_model
+    if len(taskset) and not test.supports_service_model(service):
+        raise UnsupportedTasksetError(
+            strategy.name,
+            test.name,
+            f"the test does not analyze LC tasks under the "
+            f"{service.spec()!r} service model (see "
+            "SchedulabilityTest.supports_service_model; e.g. the AMC "
+            "analyses assume drop-at-switch)",
+        )
+    processors = [ProcessorState(i, service=service) for i in range(m)]
     contexts = None
     if incremental:
-        candidates = [test.make_context() for _ in range(m)]
+        candidates = [test.make_context(service) for _ in range(m)]
         if all(context is not None for context in candidates):
             contexts = candidates
     assignment: dict[int, int] = {}

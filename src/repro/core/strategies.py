@@ -22,6 +22,7 @@ __all__ = [
     "worst_fit_by",
     "best_fit_by",
     "udp_fit",
+    "res_udp_fit",
     "register_strategy",
     "get_strategy",
     "registered_strategies",
@@ -109,6 +110,13 @@ def best_fit_by(
 #: Worst-fit on the utilization difference ``U_HH - U_LH`` — line 3 of
 #: Algorithm 1; the core of both UDP strategies.
 udp_fit = worst_fit_by(lambda p: p.utilization_difference)
+
+#: Worst-fit on the residual-aware difference ``U_HH + U_res - U_LH`` — the
+#: degradation-aware UDP metric: with a service model that keeps LC tasks
+#: alive in HI mode, the load a core absorbs at the switch includes their
+#: residual utilization.  Identical to :data:`udp_fit` under drop semantics
+#: (``U_res`` is identically 0 then).
+res_udp_fit = worst_fit_by(lambda p: p.residual_difference)
 
 
 # -- registry --------------------------------------------------------------------

@@ -28,10 +28,11 @@ from repro.core.strategies import (
     order_criticality_aware,
     order_criticality_unaware,
     register_strategy,
+    res_udp_fit,
     udp_fit,
 )
 
-__all__ = ["ca_udp", "cu_udp"]
+__all__ = ["ca_udp", "cu_udp", "ca_udp_res", "cu_udp_res"]
 
 
 def ca_udp() -> PartitioningStrategy:
@@ -60,5 +61,42 @@ def cu_udp() -> PartitioningStrategy:
     )
 
 
+def ca_udp_res() -> PartitioningStrategy:
+    """CA-UDP balancing the residual-aware difference ``U_HH + U_res - U_LH``.
+
+    The degradation-aware variant of Algorithm 1: with a service model that
+    keeps LC tasks alive in HI mode (:mod:`repro.degradation`), the demand
+    jump a core absorbs at the switch is ``U_HH + U_res - U_LH`` — LC tasks
+    placed on a core now *add* to its HI-mode load instead of vanishing.
+    Under ``FullDrop`` the metric collapses to the paper's and the strategy
+    allocates identically to :func:`ca_udp`.
+    """
+    return PartitioningStrategy(
+        name="ca-udp-res",
+        order=order_criticality_aware,
+        hc_fit=res_udp_fit,
+        lc_fit=first_fit,
+        description=(
+            "criticality-aware; HC worst-fit on U_HH+U_res-U_LH, LC first-fit"
+        ),
+    )
+
+
+def cu_udp_res() -> PartitioningStrategy:
+    """CU-UDP on the residual-aware difference metric; see :func:`ca_udp_res`."""
+    return PartitioningStrategy(
+        name="cu-udp-res",
+        order=order_criticality_unaware,
+        hc_fit=res_udp_fit,
+        lc_fit=first_fit,
+        description=(
+            "criticality-unaware order; HC worst-fit on U_HH+U_res-U_LH, "
+            "LC first-fit"
+        ),
+    )
+
+
 register_strategy("ca-udp", ca_udp)
 register_strategy("cu-udp", cu_udp)
+register_strategy("ca-udp-res", ca_udp_res)
+register_strategy("cu-udp-res", cu_udp_res)

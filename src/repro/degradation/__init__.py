@@ -1,0 +1,40 @@
+"""Graceful LO-criticality service degradation (system S13).
+
+This package parameterizes *what happens to LC tasks at the mode switch*.
+The rest of the pipeline — model, analyses, partitioning, simulation,
+experiments — consumes a :class:`~repro.degradation.service.ServiceModel`
+carried by the :class:`~repro.model.taskset.TaskSet` under test:
+
+* :class:`~repro.degradation.service.FullDrop` — the paper's (and the
+  historical) drop-at-switch semantics; the default everywhere, with
+  bit-identical results to the pre-degradation code paths.
+* :class:`~repro.degradation.service.ImpreciseBudget` — LC tasks keep a
+  reduced HI-mode budget ``floor(rho * C^LO)`` (imprecise-MC model).
+* :class:`~repro.degradation.service.ElasticPeriod` — LC periods stretch
+  by ``lambda`` in HI mode (elastic task model).
+
+See the README's "Service models & scenario matrix" section for which
+analyses and runtimes support which models.
+"""
+
+from repro.degradation.service import (
+    FULL_DROP,
+    ElasticPeriod,
+    FullDrop,
+    ImpreciseBudget,
+    ServiceModel,
+    parse_service_model,
+    register_service_model,
+    registered_service_models,
+)
+
+__all__ = [
+    "FULL_DROP",
+    "ElasticPeriod",
+    "FullDrop",
+    "ImpreciseBudget",
+    "ServiceModel",
+    "parse_service_model",
+    "register_service_model",
+    "registered_service_models",
+]

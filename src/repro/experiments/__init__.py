@@ -39,6 +39,7 @@ from repro.experiments.sensitivity import (
 from repro.experiments.weighted import weighted_acceptance_ratio
 from repro.experiments.figures import (
     FIGURES,
+    PAPER_FIGURES,
     FigureResult,
     SweepJob,
     fig3,
@@ -46,6 +47,8 @@ from repro.experiments.figures import (
     fig5,
     fig6a,
     fig6b,
+    fig7a,
+    fig7b,
     figure_plan,
     run_figure,
 )
@@ -71,6 +74,7 @@ __all__ = [
     "save_figure_result",
     "weighted_acceptance_ratio",
     "FIGURES",
+    "PAPER_FIGURES",
     "FigureResult",
     "SweepJob",
     "figure_plan",
@@ -79,6 +83,8 @@ __all__ = [
     "fig5",
     "fig6a",
     "fig6b",
+    "fig7a",
+    "fig7b",
     "run_figure",
     "improvement_summary",
     "render_sweep",

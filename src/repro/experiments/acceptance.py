@@ -33,13 +33,17 @@ __all__ = [
 def validate_algorithms(
     config: "SweepConfig", algorithms: list[PartitionedAlgorithm]
 ) -> None:
-    """Reject (algorithm, deadline type) pairings the tests cannot analyze.
+    """Reject (algorithm, deadline type/service model) pairings the tests
+    cannot analyze.
 
     Called at sweep setup (and by the campaign decomposition before any
-    worker spawns), so e.g. EDF-VD against a constrained-deadline sweep
-    fails immediately with a clear error instead of raising from deep
-    inside the analysis mid-campaign.
+    worker spawns), so e.g. EDF-VD against a constrained-deadline sweep, or
+    AMC against a degraded-service sweep, fails immediately with a clear
+    error instead of raising from deep inside the analysis mid-campaign.
     """
+    from repro.degradation.service import parse_service_model
+
+    service = parse_service_model(config.service)
     for algorithm in algorithms:
         if not algorithm.test.supports_deadline_type(config.deadline_type):
             raise ValueError(
@@ -47,6 +51,13 @@ def validate_algorithms(
                 f"deadline_type={config.deadline_type!r} sweep: test "
                 f"{algorithm.test.name!r} does not support it "
                 f"(sweep label {config.label!r})"
+            )
+        if not algorithm.test.supports_service_model(service):
+            raise ValueError(
+                f"algorithm {algorithm.name!r} cannot run on a "
+                f"service={config.service!r} sweep: test "
+                f"{algorithm.test.name!r} does not analyze LC tasks under "
+                f"that service model (sweep label {config.label!r})"
             )
 
 
@@ -62,6 +73,12 @@ class SweepConfig:
     bucket_width: float = 0.05
     ub_min: float = 0.0  #: skip buckets below this UB (all-accept region)
     ub_max: float = 1.0
+    #: LC service model spec applied to every generated task set
+    #: (``"full-drop"``, ``"imprecise:<rho>"`` or ``"elastic:<lambda>"``);
+    #: the default reproduces the paper's drop-at-switch semantics exactly
+    #: — task-set generation itself is service-agnostic, so curves across
+    #: service values share the same task-set sample
+    service: str = "full-drop"
 
 
 @dataclass
@@ -172,8 +189,11 @@ class AcceptanceSweep:
     """
 
     def __init__(self, config: SweepConfig, grid: UtilizationGrid | None = None):
+        from repro.degradation.service import parse_service_model
+
         self.config = config
         self.grid = grid or UtilizationGrid()
+        self._service = parse_service_model(config.service)
         self._generator = MCTaskSetGenerator(
             GeneratorConfig(
                 m=config.m,
@@ -186,9 +206,17 @@ class AcceptanceSweep:
     def tasksets_for_bucket(
         self, bucket: float, points: list[GridPoint]
     ) -> list[TaskSet]:
-        """The deterministic task-set sample for one ``UB`` bucket."""
+        """The deterministic task-set sample for one ``UB`` bucket.
+
+        Generation is independent of the service model (the RNG stream is
+        untouched by it), so sweeps differing only in ``service`` evaluate
+        their algorithms on the *same* task sets — the degradation figures
+        compare service levels, not sampling noise.  A non-default model is
+        attached to each generated set afterwards.
+        """
         cfg = self.config
         out: list[TaskSet] = []
+        attach = not self._service.is_full_drop
         for replicate in range(cfg.samples_per_bucket):
             rng = derive_rng(
                 cfg.label, cfg.m, cfg.deadline_type, cfg.p_high, bucket, replicate
@@ -201,6 +229,8 @@ class AcceptanceSweep:
                     rng, point.u_hh, point.u_lh, point.u_ll
                 )
                 if taskset is not None:
+                    if attach:
+                        taskset = taskset.with_service_model(self._service)
                     out.append(taskset)
                     break
         return out

@@ -27,8 +27,10 @@ from repro.core import (
     ca_f_f,
     ca_nosort_f_f,
     ca_udp,
+    ca_udp_res,
     ca_wu_f,
     cu_udp,
+    cu_udp_res,
     eca_wu_f,
     partition,
 )
@@ -97,6 +99,13 @@ _ALGORITHMS: dict[str, Callable[[], PartitionedAlgorithm]] = {
     "cu-udp-amc-opa": _make(
         "cu-udp-amc-opa", cu_udp, lambda: AMCmaxTest("opa")
     ),
+    # Degradation-aware UDP variants (fig7): the strategies balance the
+    # residual-aware difference U_HH + U_res - U_LH; under the default
+    # FullDrop service they allocate identically to their plain twins.
+    "ca-udp-res-edf-vd": _make("ca-udp-res-edf-vd", ca_udp_res, EDFVDTest),
+    "cu-udp-res-edf-vd": _make("cu-udp-res-edf-vd", cu_udp_res, EDFVDTest),
+    "cu-udp-res-ecdf": _make("cu-udp-res-ecdf", cu_udp_res, ECDFTest),
+    "cu-udp-res-ey": _make("cu-udp-res-ey", cu_udp_res, EYTest),
 }
 
 

@@ -41,7 +41,7 @@ def sweep_config_to_dict(config: SweepConfig) -> dict[str, Any]:
     (see :mod:`repro.runner.cache`), so a config field added here
     automatically invalidates stale cached shards.
     """
-    return {
+    data = {
         "label": config.label,
         "m": config.m,
         "deadline_type": config.deadline_type,
@@ -51,6 +51,12 @@ def sweep_config_to_dict(config: SweepConfig) -> dict[str, Any]:
         "ub_min": config.ub_min,
         "ub_max": config.ub_max,
     }
+    # Emitted only when non-default so drop-at-switch figure JSON (and the
+    # shard-cache keys derived from this dict) stay byte-identical to the
+    # pre-degradation format; absent keys load as the default.
+    if config.service != "full-drop":
+        data["service"] = config.service
+    return data
 
 
 def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:

@@ -24,6 +24,7 @@ from repro.util.env import samples_from_env
 __all__ = [
     "FigureResult",
     "FIGURES",
+    "PAPER_FIGURES",
     "SweepJob",
     "default_samples",
     "figure_plan",
@@ -32,6 +33,8 @@ __all__ = [
     "fig5",
     "fig6a",
     "fig6b",
+    "fig7a",
+    "fig7b",
     "run_figure",
 ]
 
@@ -51,6 +54,22 @@ FIG6B_ALGORITHMS = (
 #: PH values swept by Figure 6.
 FIG6_PH_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
 FIG6_M_VALUES = (2, 4)
+
+#: Degradation sweeps (fig7 — an extension beyond the paper): acceptance
+#: ratio and weighted schedulability versus the LO-service degradation
+#: level, at the paper's m grid and PH=0.5.  fig7a sweeps the imprecise
+#: budget ratio rho (EDF-VD algorithms; rho=0 is equivalent to dropping LC
+#: work, rho=1 keeps full LC service in HI mode); fig7b sweeps the elastic
+#: period stretch lambda (demand-based ECDF/EY algorithms; lambda=1 keeps
+#: full service).  Both run on implicit deadlines: under constrained
+#: deadlines the joint carry-over pessimism of the demand tests leaves
+#: near-full LC service with almost no acceptance region, which would make
+#: the sweep degenerate.
+FIG7A_ALGORITHMS = ("cu-udp-edf-vd", "cu-udp-res-edf-vd", "ca-udp-res-edf-vd")
+FIG7B_ALGORITHMS = ("cu-udp-ecdf", "cu-udp-res-ecdf", "cu-udp-res-ey")
+FIG7_RHO_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+FIG7_LAMBDA_VALUES = (1.0, 1.5, 2.0, 4.0)
+FIG7_M_VALUES = (2, 4)
 
 
 def default_samples(fallback: int = 100) -> int:
@@ -146,6 +165,40 @@ def _war_plan(
     ]
 
 
+def _degradation_plan(
+    figure: str,
+    algorithm_names: tuple[str, ...],
+    deadline_type: str,
+    service_name: str,
+    deg_values: tuple[float, ...],
+    m_values: tuple[int, ...],
+    samples: int | None,
+) -> list[SweepJob]:
+    """One sweep per (m, degradation value); WAR keyed by ``(m, value)``.
+
+    All sweeps of one ``m`` share the identical task-set sample (generation
+    ignores the service model), so the resulting curves isolate the effect
+    of the service level.
+    """
+    samples = samples if samples is not None else default_samples()
+    return [
+        SweepJob(
+            key=f"m={m},{service_name}={value}",
+            config=SweepConfig(
+                label=figure,
+                m=m,
+                deadline_type=deadline_type,
+                samples_per_bucket=samples,
+                service=f"{service_name}:{value}",
+            ),
+            algorithms=algorithm_names,
+            war_key=(m, value),
+        )
+        for m in m_values
+        for value in deg_values
+    ]
+
+
 _PLANNERS = {
     "fig3": lambda samples, m_values=(2, 4, 8): _acceptance_plan(
         "fig3", FIG3_ALGORITHMS, "implicit", m_values, samples
@@ -161,6 +214,12 @@ _PLANNERS = {
     ),
     "fig6b": lambda samples, ph_values=FIG6_PH_VALUES, m_values=FIG6_M_VALUES: _war_plan(
         "fig6b", FIG6B_ALGORITHMS, "constrained", samples, ph_values, m_values
+    ),
+    "fig7a": lambda samples, deg_values=FIG7_RHO_VALUES, m_values=FIG7_M_VALUES: _degradation_plan(
+        "fig7a", FIG7A_ALGORITHMS, "implicit", "imprecise", deg_values, m_values, samples
+    ),
+    "fig7b": lambda samples, deg_values=FIG7_LAMBDA_VALUES, m_values=FIG7_M_VALUES: _degradation_plan(
+        "fig7b", FIG7B_ALGORITHMS, "implicit", "elastic", deg_values, m_values, samples
     ),
 }
 
@@ -266,13 +325,47 @@ def fig6b(
     return _run_plan("fig6b", plan, jobs, cache, progress)
 
 
+def fig7a(
+    samples: int | None = None,
+    deg_values: tuple[float, ...] = FIG7_RHO_VALUES,
+    m_values: tuple[int, ...] = FIG7_M_VALUES,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> FigureResult:
+    """Figure 7a (extension): acceptance/WAR vs imprecise budget ratio rho."""
+    plan = figure_plan("fig7a", samples, deg_values=deg_values, m_values=m_values)
+    return _run_plan("fig7a", plan, jobs, cache, progress)
+
+
+def fig7b(
+    samples: int | None = None,
+    deg_values: tuple[float, ...] = FIG7_LAMBDA_VALUES,
+    m_values: tuple[int, ...] = FIG7_M_VALUES,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> FigureResult:
+    """Figure 7b (extension): acceptance/WAR vs elastic period stretch lambda."""
+    plan = figure_plan("fig7b", samples, deg_values=deg_values, m_values=m_values)
+    return _run_plan("fig7b", plan, jobs, cache, progress)
+
+
 FIGURES = {
     "fig3": fig3,
     "fig4": fig4,
     "fig5": fig5,
     "fig6a": fig6a,
     "fig6b": fig6b,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
 }
+
+#: The figures of the DATE 2017 paper itself (the default campaign);
+#: fig7a/fig7b are this reproduction's degradation extension.
+PAPER_FIGURES = ("fig3", "fig4", "fig5", "fig6a", "fig6b")
 
 
 def run_figure(name: str, samples: int | None = None, **kwargs) -> FigureResult:

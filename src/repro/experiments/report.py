@@ -32,16 +32,23 @@ def render_sweep(sweep: SweepResult, title: str | None = None) -> str:
     return format_table(headers, rows, title=label)
 
 
+#: WAR sweep parameter per figure family: fig6 sweeps the HC-task share
+#: PH; the degradation extension sweeps a service-model level.
+_WAR_PARAMS = {"fig7a": "rho", "fig7b": "lambda"}
+
+
 def render_war(result: FigureResult) -> str:
-    """Weighted-acceptance-ratio table: one row per (m, PH)."""
+    """Weighted-acceptance-ratio table: one row per (m, swept parameter)."""
     if not result.war:
         raise ValueError(f"{result.figure} carries no WAR data")
+    param = _WAR_PARAMS.get(result.figure, "PH")
     algorithms = result.algorithms
-    headers = ["m", "PH"] + algorithms
+    headers = ["m", param] + algorithms
     rows = []
-    for (m, ph), table in sorted(result.war.items()):
-        rows.append([m, f"{ph:.1f}"] + [table[name] for name in algorithms])
-    return format_table(headers, rows, title=f"{result.figure}: WAR vs PH")
+    fmt = "{:.1f}" if param == "PH" else "{:.2f}"
+    for (m, value), table in sorted(result.war.items()):
+        rows.append([m, fmt.format(value)] + [table[name] for name in algorithms])
+    return format_table(headers, rows, title=f"{result.figure}: WAR vs {param}")
 
 
 def improvement_summary(

@@ -43,6 +43,11 @@ class GeneratorConfig:
     t_max: int = 500
     deadline_type: str = "implicit"  #: "implicit" or "constrained"
     max_attempts: int = 64  #: resampling attempts before giving up
+    #: when set, every generated LC task carries an explicit per-task
+    #: degraded budget ``wcet_degraded = floor(degradation_factor * C^L)``
+    #: for the degradation-aware service models (:mod:`repro.degradation`);
+    #: None (the default) leaves the fields unset — bit-identical output
+    degradation_factor: float | None = None
 
     def __post_init__(self) -> None:
         if self.m <= 0:
@@ -57,6 +62,13 @@ class GeneratorConfig:
             raise ValueError(
                 "deadline_type must be 'implicit' or 'constrained', "
                 f"got {self.deadline_type!r}"
+            )
+        if self.degradation_factor is not None and not (
+            0.0 <= self.degradation_factor <= 1.0
+        ):
+            raise ValueError(
+                f"degradation_factor must be in [0, 1], "
+                f"got {self.degradation_factor}"
             )
 
     @property
@@ -240,10 +252,12 @@ class MCTaskSetGenerator:
                     deadline=deadline,
                 )
             )
+        factor = cfg.degradation_factor
         for i in range(t.n_low):
             period = int(periods[t.n_high + i])
             c_lo = max(1, int(np.ceil(u_lo_low[i] * period)))
             deadline = self._draw_deadline(rng, c_lo, period)
+            degraded = None if factor is None else int(np.floor(factor * c_lo))
             tasks.append(
                 MCTask(
                     period=period,
@@ -251,6 +265,7 @@ class MCTaskSetGenerator:
                     wcet_lo=c_lo,
                     wcet_hi=c_lo,
                     deadline=deadline,
+                    wcet_degraded=degraded,
                 )
             )
         return TaskSet(tasks)

@@ -26,9 +26,20 @@ class Criticality(enum.IntEnum):
 
     @classmethod
     def parse(cls, value: "Criticality | str | int") -> "Criticality":
-        """Coerce ``value`` ('LC'/'HC', 0/1 or enum) to a :class:`Criticality`."""
+        """Coerce ``value`` ('LC'/'HC', 0/1 or enum) to a :class:`Criticality`.
+
+        ``bool`` is rejected explicitly: ``True`` is an ``int`` subclass and
+        would silently parse as HC, which in practice hides an argument-order
+        bug at the call site (e.g. passing ``is_high`` where a criticality
+        was expected).
+        """
         if isinstance(value, Criticality):
             return value
+        if isinstance(value, bool):
+            raise ValueError(
+                f"criticality must be 'LC'/'HC', 0/1 or Criticality, not a "
+                f"bool ({value!r}); pass Criticality.HC/LC explicitly"
+            )
         if isinstance(value, str):
             try:
                 return cls[value.upper()]

@@ -35,6 +35,15 @@ class MCTask:
         ``wcet_lo`` (an LC task is abandoned rather than extended in HI mode).
     deadline:
         Relative deadline ``D_i``; defaults to ``period`` (implicit deadline).
+    wcet_degraded:
+        Optional per-task degraded HI-mode budget for LC tasks (``0 <=
+        wcet_degraded <= wcet_lo``); consulted by degradation-aware service
+        models (:mod:`repro.degradation`) ahead of their uniform formula.
+        Must be None for HC tasks.
+    period_degraded:
+        Optional per-task stretched HI-mode period for LC tasks
+        (``period_degraded >= period``); the elastic-period counterpart of
+        ``wcet_degraded``.  Must be None for HC tasks.
     name:
         Optional human-readable label; auto-generated when omitted.
     task_id:
@@ -50,6 +59,8 @@ class MCTask:
     wcet_lo: int
     wcet_hi: int
     deadline: int = -1  # placeholder replaced in __post_init__
+    wcet_degraded: int | None = None
+    period_degraded: int | None = None
     name: str = ""
     task_id: int = field(default=-1, compare=False)
 
@@ -139,8 +150,12 @@ class MCTask:
         return replace(self, wcet_lo=lo, wcet_hi=hi)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (JSON-friendly)."""
-        return {
+        """Plain-dict form (JSON-friendly).
+
+        Degraded-service fields appear only when set, so task sets without
+        degradation serialize exactly as before.
+        """
+        data = {
             "name": self.name,
             "period": self.period,
             "criticality": self.criticality.name,
@@ -148,16 +163,25 @@ class MCTask:
             "wcet_hi": self.wcet_hi,
             "deadline": self.deadline,
         }
+        if self.wcet_degraded is not None:
+            data["wcet_degraded"] = self.wcet_degraded
+        if self.period_degraded is not None:
+            data["period_degraded"] = self.period_degraded
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MCTask":
         """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        wcet_degraded = data.get("wcet_degraded")
+        period_degraded = data.get("period_degraded")
         return cls(
             period=int(data["period"]),
             criticality=Criticality.parse(data["criticality"]),
             wcet_lo=int(data["wcet_lo"]),
             wcet_hi=int(data["wcet_hi"]),
             deadline=int(data.get("deadline", data["period"])),
+            wcet_degraded=None if wcet_degraded is None else int(wcet_degraded),
+            period_degraded=None if period_degraded is None else int(period_degraded),
             name=str(data.get("name", "")),
         )
 
@@ -185,10 +209,36 @@ def _check_fields(task: MCTask) -> None:
         )
     if task.deadline <= 0:
         raise ValueError(f"{task.name}: deadline must be positive, got {task.deadline}")
+    if task.criticality.is_high:
+        if task.wcet_degraded is not None or task.period_degraded is not None:
+            raise ValueError(
+                f"{task.name}: degraded-service fields apply to LC tasks "
+                "only (HC tasks always receive their HI budget)"
+            )
+    else:
+        if task.wcet_degraded is not None and not (
+            0 <= task.wcet_degraded <= task.wcet_lo
+        ):
+            raise ValueError(
+                f"{task.name}: wcet_degraded ({task.wcet_degraded}) outside "
+                f"[0, wcet_lo={task.wcet_lo}]"
+            )
+        if task.period_degraded is not None and task.period_degraded < task.period:
+            raise ValueError(
+                f"{task.name}: period_degraded ({task.period_degraded}) "
+                f"must be >= period ({task.period})"
+            )
     for attr in ("period", "wcet_lo", "wcet_hi", "deadline"):
         value = getattr(task, attr)
         if not isinstance(value, int):
             raise TypeError(
                 f"{task.name}: {attr} must be an int (integer time model), "
+                f"got {type(value).__name__}"
+            )
+    for attr in ("wcet_degraded", "period_degraded"):
+        value = getattr(task, attr)
+        if value is not None and not isinstance(value, int):
+            raise TypeError(
+                f"{task.name}: {attr} must be an int or None, "
                 f"got {type(value).__name__}"
             )

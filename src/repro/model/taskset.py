@@ -56,12 +56,22 @@ class TaskSet(Sequence[MCTask]):
 
     Supports the usual sequence protocol plus utilization aggregates,
     criticality filtering and cheap functional updates (``with_task``).
-    Instances hash by task identity so analyses can memoize on them.
+    Instances hash by task identity (plus the service-model key, when one
+    is attached) so analyses can memoize on them.
+
+    ``service_model`` optionally attaches a
+    :class:`~repro.degradation.service.ServiceModel` describing the HI-mode
+    service LC tasks receive (a model instance or a spec string like
+    ``"imprecise:0.5"``).  None — the default — means the classical
+    drop-at-switch semantics; an explicit ``FullDrop`` compares equal to
+    None so the default path stays canonical.  The model propagates through
+    every functional update (``with_task``, slicing, sorting, the
+    criticality views).
     """
 
-    __slots__ = ("_tasks", "_hash", "__dict__")
+    __slots__ = ("_tasks", "_hash", "_service", "__dict__")
 
-    def __init__(self, tasks: Iterable[MCTask] = ()):
+    def __init__(self, tasks: Iterable[MCTask] = (), service_model=None):
         tasks = tuple(tasks)
         for task in tasks:
             if not isinstance(task, MCTask):
@@ -69,8 +79,27 @@ class TaskSet(Sequence[MCTask]):
         ids = [t.task_id for t in tasks]
         if len(set(ids)) != len(ids):
             raise ValueError("TaskSet contains duplicate task_ids")
+        if isinstance(service_model, str):
+            from repro.degradation.service import parse_service_model
+
+            service_model = parse_service_model(service_model)
         object.__setattr__(self, "_tasks", tasks)
-        object.__setattr__(self, "_hash", hash(tuple(ids)))
+        object.__setattr__(self, "_service", service_model)
+        object.__setattr__(
+            self, "_hash", hash((tuple(ids), self._service_key()))
+        )
+
+    def _service_key(self):
+        """Normalized hashable identity of the attached service model.
+
+        None both for an absent model and for ``FullDrop`` — the two spell
+        the same drop-at-switch semantics, and normalizing keeps task sets
+        interchangeable between the historical and the degradation-aware
+        call paths.
+        """
+        if self._service is None or self._service.is_full_drop:
+            return None
+        return self._service.key()
 
     # -- sequence protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -81,7 +110,7 @@ class TaskSet(Sequence[MCTask]):
 
     def __getitem__(self, index):  # type: ignore[override]
         if isinstance(index, slice):
-            return TaskSet(self._tasks[index])
+            return TaskSet(self._tasks[index], service_model=self._service)
         return self._tasks[index]
 
     def __hash__(self) -> int:
@@ -90,7 +119,10 @@ class TaskSet(Sequence[MCTask]):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TaskSet):
             return NotImplemented
-        return self._tasks == other._tasks
+        return (
+            self._tasks == other._tasks
+            and self._service_key() == other._service_key()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TaskSet({len(self._tasks)} tasks, UB={self.utilization.bound:.3f})"
@@ -98,29 +130,70 @@ class TaskSet(Sequence[MCTask]):
     # -- construction -------------------------------------------------------
     def with_task(self, task: MCTask) -> "TaskSet":
         """New task set with ``task`` appended."""
-        return TaskSet(self._tasks + (task,))
+        return TaskSet(self._tasks + (task,), service_model=self._service)
 
     def without_task(self, task: MCTask) -> "TaskSet":
         """New task set with ``task`` (by task_id) removed."""
         remaining = tuple(t for t in self._tasks if t.task_id != task.task_id)
         if len(remaining) == len(self._tasks):
             raise KeyError(f"task {task.name} not in task set")
-        return TaskSet(remaining)
+        return TaskSet(remaining, service_model=self._service)
 
     def sorted_by(self, key, reverse: bool = False) -> "TaskSet":
         """New task set sorted by ``key`` (stable)."""
-        return TaskSet(sorted(self._tasks, key=key, reverse=reverse))
+        return TaskSet(
+            sorted(self._tasks, key=key, reverse=reverse),
+            service_model=self._service,
+        )
+
+    # -- service model -------------------------------------------------------
+    @property
+    def service_model(self):
+        """The attached LC service model, or None (drop-at-switch)."""
+        return self._service
+
+    @property
+    def effective_service(self):
+        """The attached service model, with None resolved to ``FULL_DROP``."""
+        if self._service is not None:
+            return self._service
+        from repro.degradation.service import FULL_DROP
+
+        return FULL_DROP
+
+    def with_service_model(self, service_model) -> "TaskSet":
+        """New task set (same tasks) carrying ``service_model``."""
+        return TaskSet(self._tasks, service_model=service_model)
+
+    @cached_property
+    def residual_utilization(self) -> float:
+        """HI-mode utilization the LC tasks retain under the service model.
+
+        0.0 under drop-at-switch (no model, or ``FullDrop``); otherwise the
+        sum of per-task residual utilizations — the ``U_res`` term of the
+        extended EDF-VD test and the residual-aware UDP difference metric.
+        """
+        service = self._service
+        if service is None or service.is_full_drop:
+            return 0.0
+        return sum(
+            service.residual_utilization(t) for t in self._tasks if not t.is_high
+        )
 
     # -- criticality views ---------------------------------------------------
     @cached_property
     def high_tasks(self) -> "TaskSet":
         """The HC tasks, in order."""
-        return TaskSet(t for t in self._tasks if t.is_high)
+        return TaskSet(
+            (t for t in self._tasks if t.is_high), service_model=self._service
+        )
 
     @cached_property
     def low_tasks(self) -> "TaskSet":
         """The LC tasks, in order."""
-        return TaskSet(t for t in self._tasks if not t.is_high)
+        return TaskSet(
+            (t for t in self._tasks if not t.is_high), service_model=self._service
+        )
 
     def of_criticality(self, level: Criticality) -> "TaskSet":
         """Tasks at exactly criticality ``level``."""

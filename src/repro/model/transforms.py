@@ -24,7 +24,10 @@ __all__ = [
 
 def with_implicit_deadlines(taskset: TaskSet) -> TaskSet:
     """Copy with every deadline reset to the period."""
-    return TaskSet(replace(t, deadline=t.period) for t in taskset)
+    return TaskSet(
+        (replace(t, deadline=t.period) for t in taskset),
+        service_model=taskset.service_model,
+    )
 
 
 def with_constrained_deadlines(
@@ -39,7 +42,7 @@ def with_constrained_deadlines(
     for t in taskset:
         deadline = int(rng.integers(t.wcet_hi, t.period + 1))
         tasks.append(replace(t, deadline=deadline))
-    return TaskSet(tasks)
+    return TaskSet(tasks, service_model=taskset.service_model)
 
 
 def inflate_hi_budgets(taskset: TaskSet, factor: float) -> TaskSet:
@@ -60,7 +63,7 @@ def inflate_hi_budgets(taskset: TaskSet, factor: float) -> TaskSet:
         cap = min(t.deadline, t.period)
         new_hi = min(cap, max(t.wcet_lo, int(round(t.wcet_hi * factor))))
         tasks.append(replace(t, wcet_hi=new_hi))
-    return TaskSet(tasks)
+    return TaskSet(tasks, service_model=taskset.service_model)
 
 
 def squeeze_difference(taskset: TaskSet, ratio: float) -> TaskSet:
@@ -81,4 +84,4 @@ def squeeze_difference(taskset: TaskSet, ratio: float) -> TaskSet:
             continue
         new_lo = t.wcet_lo + int(round(ratio * (t.wcet_hi - t.wcet_lo)))
         tasks.append(replace(t, wcet_lo=min(new_lo, t.wcet_hi)))
-    return TaskSet(tasks)
+    return TaskSet(tasks, service_model=taskset.service_model)

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.experiments.export import save_figure_result
-from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.figures import FIGURES, PAPER_FIGURES, run_figure
 from repro.runner.cache import ShardCache
 from repro.runner.progress import ProgressReporter
 
@@ -32,6 +32,8 @@ class FigureJob:
     samples: int | None = None
     m_values: tuple[int, ...] | None = None
     ph_values: tuple[float, ...] | None = None
+    #: degradation-level overrides (rho for fig7a, lambda for fig7b)
+    deg_values: tuple[float, ...] | None = None
     key: str = ""  #: output stem; defaults to the figure name
 
     def __post_init__(self):
@@ -40,6 +42,8 @@ class FigureJob:
             raise ValueError(f"unknown figure {self.figure!r}; known: {known}")
         if self.ph_values is not None and self.figure not in ("fig6a", "fig6b"):
             raise ValueError(f"{self.figure} does not sweep PH values")
+        if self.deg_values is not None and self.figure not in ("fig7a", "fig7b"):
+            raise ValueError(f"{self.figure} does not sweep degradation values")
         if not self.key:
             object.__setattr__(self, "key", self.figure)
 
@@ -49,6 +53,8 @@ class FigureJob:
             kwargs["m_values"] = self.m_values
         if self.ph_values is not None:
             kwargs["ph_values"] = self.ph_values
+        if self.deg_values is not None:
+            kwargs["deg_values"] = self.deg_values
         return kwargs
 
     def to_dict(self) -> dict[str, Any]:
@@ -59,6 +65,8 @@ class FigureJob:
             data["m_values"] = list(self.m_values)
         if self.ph_values is not None:
             data["ph_values"] = list(self.ph_values)
+        if self.deg_values is not None:
+            data["deg_values"] = list(self.deg_values)
         return data
 
     @classmethod
@@ -68,6 +76,7 @@ class FigureJob:
             samples=data.get("samples"),
             m_values=tuple(data["m_values"]) if "m_values" in data else None,
             ph_values=tuple(data["ph_values"]) if "ph_values" in data else None,
+            deg_values=tuple(data["deg_values"]) if "deg_values" in data else None,
             key=data.get("key", ""),
         )
 
@@ -109,10 +118,29 @@ class CampaignSpec:
 
     @classmethod
     def paper_evaluation(cls, samples: int | None = None) -> "CampaignSpec":
-        """Every figure of the paper at uniform scale."""
+        """Every figure of the paper at uniform scale.
+
+        Covers the paper's own figures only; the degradation extension
+        sweeps run on request (``--figures fig7a,fig7b`` or
+        :meth:`degradation_extension`).
+        """
         return cls(
             name="paper-evaluation",
-            figures=tuple(FigureJob(name, samples=samples) for name in sorted(FIGURES)),
+            figures=tuple(
+                FigureJob(name, samples=samples) for name in PAPER_FIGURES
+            ),
+        )
+
+    @classmethod
+    def degradation_extension(cls, samples: int | None = None) -> "CampaignSpec":
+        """The LO-service degradation sweeps (fig7a: imprecise budgets vs
+        rho, fig7b: elastic periods vs lambda)."""
+        return cls(
+            name="degradation-extension",
+            figures=(
+                FigureJob("fig7a", samples=samples),
+                FigureJob("fig7b", samples=samples),
+            ),
         )
 
 

@@ -1,9 +1,16 @@
 """Scheduling policies for the simulator.
 
 A policy supplies the priority key for ready jobs (smaller = run first),
-whether LC work is abandoned at a mode switch, and whether the runtime is
-mode-aware at all.  The engine (:mod:`repro.sim.uniprocessor`) owns time,
-releases and the mode automaton.
+what happens to LC work at a mode switch (drop, degrade, or full service),
+and whether the runtime is mode-aware at all.  The engine
+(:mod:`repro.sim.uniprocessor`) owns time, releases and the mode automaton.
+
+Mode-aware policies optionally carry a
+:class:`~repro.degradation.service.ServiceModel`: with a degraded (non-drop)
+model attached, the engine truncates pending LC jobs to their degraded
+budget at the switch, admits HI-mode LC releases at the degraded
+budget/period/deadline, and treats any miss of such a serviced LC job as an
+MC violation (degraded service is a *guarantee*, not best-effort).
 """
 
 from __future__ import annotations
@@ -13,6 +20,14 @@ from repro.model import MCTask
 __all__ = ["SchedulingPolicy", "EDFPolicy", "EDFVDPolicy", "AMCPolicy"]
 
 
+def _parse_service(service):
+    if service is None:
+        return None
+    from repro.degradation.service import parse_service_model
+
+    return parse_service_model(service)
+
+
 class SchedulingPolicy:
     """Interface the engine drives."""
 
@@ -20,15 +35,36 @@ class SchedulingPolicy:
     drops_lc_on_switch: bool = True
     #: whether exceeding the LO budget triggers a mode switch at all
     mode_aware: bool = True
+    #: LC service model honored after the switch (None = per
+    #: ``drops_lc_on_switch``); see :mod:`repro.degradation`
+    service = None
     name: str = "abstract"
 
+    @property
+    def degrades_lc(self) -> bool:
+        """True when LC tasks keep (reduced) service after the switch."""
+        return (
+            self.mode_aware
+            and self.service is not None
+            and not self.service.is_full_drop
+        )
+
     def priority_key(
-        self, task: MCTask, release: int, high_mode: bool
+        self,
+        task: MCTask,
+        release: int,
+        high_mode: bool,
+        deadline: int | None = None,
     ) -> tuple:
         """Sortable priority of a job of ``task`` released at ``release``.
 
         Lower sorts first.  Must be stable for a given (job, mode); the
-        engine re-evaluates keys when the mode changes.
+        engine re-evaluates keys when the mode changes.  ``deadline`` is
+        the job's actual absolute deadline as assigned by the engine —
+        under a degraded service model an LC job released in HI mode
+        carries a stretched deadline, so deadline-driven policies must
+        key on it rather than recomputing ``release + task.deadline``
+        (the two coincide under drop semantics).
         """
         raise NotImplementedError
 
@@ -45,8 +81,16 @@ class EDFPolicy(SchedulingPolicy):
     mode_aware = False
     name = "edf"
 
-    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
-        return (release + task.deadline, task.task_id)
+    def priority_key(
+        self,
+        task: MCTask,
+        release: int,
+        high_mode: bool,
+        deadline: int | None = None,
+    ) -> tuple:
+        if deadline is None:
+            deadline = release + task.deadline
+        return (deadline, task.task_id)
 
 
 class EDFVDPolicy(SchedulingPolicy):
@@ -55,7 +99,9 @@ class EDFVDPolicy(SchedulingPolicy):
     In LO mode HC jobs are prioritized by their *virtual* deadline —
     either ``release + x * D`` for the EDF-VD scaling factor ``x``, or
     ``release + Dv`` from an explicit per-task map (the EY/ECDF runtimes).
-    After the switch, real deadlines apply and LC jobs are dropped.
+    After the switch, real deadlines apply and LC jobs are dropped — or,
+    with a degraded ``service`` model attached, kept at their reduced
+    budget / stretched period.
     """
 
     drops_lc_on_switch = True
@@ -65,6 +111,7 @@ class EDFVDPolicy(SchedulingPolicy):
         self,
         scaling_factor: float = 1.0,
         virtual_deadlines: dict[int, int] | None = None,
+        service=None,
     ):
         if not 0.0 < scaling_factor <= 1.0:
             raise ValueError(
@@ -72,7 +119,10 @@ class EDFVDPolicy(SchedulingPolicy):
             )
         self.scaling_factor = scaling_factor
         self.virtual_deadlines = dict(virtual_deadlines or {})
+        self.service = _parse_service(service)
         self.name = "edf-vd" if not self.virtual_deadlines else "edf-vd/map"
+        if self.degrades_lc:
+            self.name += f"+{self.service.spec()}"
 
     def lo_deadline(self, task: MCTask) -> float:
         """The LO-mode (virtual) relative deadline of ``task``."""
@@ -82,9 +132,19 @@ class EDFVDPolicy(SchedulingPolicy):
             return float(self.virtual_deadlines[task.task_id])
         return self.scaling_factor * task.deadline
 
-    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
+    def priority_key(
+        self,
+        task: MCTask,
+        release: int,
+        high_mode: bool,
+        deadline: int | None = None,
+    ) -> tuple:
         if high_mode:
-            return (float(release + task.deadline), task.task_id)
+            # The job's real deadline — for a degraded LC job released in
+            # HI mode this is the engine-assigned (stretched) one.
+            if deadline is None:
+                deadline = release + task.deadline
+            return (float(deadline), task.task_id)
         return (release + self.lo_deadline(task), task.task_id)
 
 
@@ -100,12 +160,21 @@ class AMCPolicy(SchedulingPolicy):
     mode_aware = True
     name = "amc"
 
-    def __init__(self, priorities: dict[int, int]):
+    def __init__(self, priorities: dict[int, int], service=None):
         if not priorities:
             raise ValueError("AMCPolicy requires a non-empty priority map")
         self.priorities = dict(priorities)
+        self.service = _parse_service(service)
+        if self.degrades_lc:
+            self.name = f"amc+{self.service.spec()}"
 
-    def priority_key(self, task: MCTask, release: int, high_mode: bool) -> tuple:
+    def priority_key(
+        self,
+        task: MCTask,
+        release: int,
+        high_mode: bool,
+        deadline: int | None = None,
+    ) -> tuple:
         try:
             level = self.priorities[task.task_id]
         except KeyError:

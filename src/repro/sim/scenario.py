@@ -74,7 +74,13 @@ class FixedOverrunScenario(Scenario):
         return task.wcet_hi
 
     def describe(self) -> str:
-        which = "all-HC" if self.overrun_task_ids is None else "selected"
+        # The label embeds the actual task ids so two "selected" scenarios
+        # in the same battery (or campaign shard report) stay distinguishable.
+        which = (
+            "all-HC"
+            if self.overrun_task_ids is None
+            else "tasks=" + ",".join(str(i) for i in sorted(self.overrun_task_ids))
+        )
         when = (
             "every job"
             if self.overrun_job_index is None
@@ -91,6 +97,11 @@ class RandomScenario(Scenario):
     ``[1, C_L]``.  Phases draw uniformly from ``[0, T)`` when
     ``random_phases`` is set.  Deterministic given the seeded ``rng`` and
     call order, so failures replay exactly.
+
+    ``seed`` is purely descriptive: pass the integer the ``rng`` was seeded
+    with so :meth:`describe` identifies the exact replayable run (campaign
+    shard labels and validation reports would otherwise conflate every
+    randomized scenario of a battery).
     """
 
     def __init__(
@@ -98,12 +109,14 @@ class RandomScenario(Scenario):
         rng: np.random.Generator,
         overrun_prob: float = 0.1,
         random_phases: bool = False,
+        seed: int | None = None,
     ):
         if not 0.0 <= overrun_prob <= 1.0:
             raise ValueError(f"overrun_prob must be in [0,1], got {overrun_prob}")
         self._rng = rng
         self.overrun_prob = overrun_prob
         self.random_phases = random_phases
+        self.seed = seed
         self._phases: dict[int, int] = {}
         self._draws: dict[tuple[int, int], int] = {}
 
@@ -127,4 +140,7 @@ class RandomScenario(Scenario):
         return self._draws[key]
 
     def describe(self) -> str:
-        return f"Random(p_overrun={self.overrun_prob}, phases={self.random_phases})"
+        label = f"Random(p_overrun={self.overrun_prob}, phases={self.random_phases}"
+        if self.seed is not None:
+            label += f", seed={self.seed}"
+        return label + ")"

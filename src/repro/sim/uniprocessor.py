@@ -9,13 +9,18 @@ Mode automaton (for mode-aware policies):
 
 * LO → HI at the first instant an HC job has executed ``C_L`` time units
   without completing; LC jobs are abandoned and LC releases suppressed when
-  the policy drops LC work;
+  the policy drops LC work.  With a degraded service model attached to the
+  policy (:mod:`repro.degradation`), LC work is *degraded* instead: pending
+  LC jobs are truncated to their HI-mode budget (jobs that already consumed
+  it end immediately — a fulfilled degraded contract, not a miss), and LC
+  releases continue at the degraded budget / stretched period and deadline;
 * HI → LO at the next idle instant (the standard AMC/EDF-VD reset rule),
-  after which LC releases resume.
+  after which full LC service resumes.
 
 Deadline misses are classified at the instant the deadline passes:
-an HC miss is always an MC violation; an LC miss is a violation only if the
-processor was still in LO mode at that instant.
+an HC miss is always an MC violation; an LC miss in HI mode is a violation
+when the job was admitted under a degraded-service guarantee, and otherwise
+(drop semantics) only LO-mode LC misses violate.
 """
 
 from __future__ import annotations
@@ -59,11 +64,18 @@ class MissRecord:
     release: int
     deadline: int
     high_mode_at_miss: bool
+    #: the job was serviced under a degraded LC guarantee (so a HI-mode
+    #: miss is a contract violation, unlike best-effort drop semantics)
+    degraded_service: bool = False
 
     @property
     def is_violation(self) -> bool:
         """True when the miss violates MC-correctness."""
-        return self.criticality_high or not self.high_mode_at_miss
+        return (
+            self.criticality_high
+            or not self.high_mode_at_miss
+            or self.degraded_service
+        )
 
 
 @dataclass
@@ -79,6 +91,7 @@ class SimResult:
     jobs_released: int = 0
     jobs_completed: int = 0
     lc_jobs_dropped: int = 0
+    lc_jobs_degraded: int = 0  #: LC jobs truncated to a degraded budget
     lc_releases_suppressed: int = 0
     preemptions: int = 0
     trace: ExecutionTrace | None = None  #: populated when record_trace=True
@@ -114,6 +127,7 @@ class UniprocessorSim:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         policy = self.policy
+        service = policy.service if policy.degrades_lc else None
         result = SimResult(policy.name, scenario.describe(), horizon)
         if record_trace:
             result.trace = ExecutionTrace()
@@ -129,14 +143,27 @@ class UniprocessorSim:
             for task in self.taskset:
                 while next_release[task.task_id] <= now:
                     rel = next_release[task.task_id]
-                    next_release[task.task_id] = rel + task.period
-                    if (
-                        high_mode
-                        and policy.drops_lc_on_switch
-                        and not task.is_high
-                    ):
-                        result.lc_releases_suppressed += 1
-                        continue
+                    lc_in_high = high_mode and not task.is_high
+                    if lc_in_high and service is not None:
+                        # Degraded service: release at the HI-mode budget,
+                        # period and deadline the service model grants.
+                        budget = min(
+                            service.degraded_budget(task), task.wcet_lo
+                        )
+                        next_release[task.task_id] = (
+                            rel + service.degraded_period(task)
+                        )
+                        if budget <= 0:
+                            result.lc_releases_suppressed += 1
+                            continue
+                        deadline = rel + service.degraded_deadline(task)
+                    else:
+                        budget = None
+                        deadline = rel + task.deadline
+                        next_release[task.task_id] = rel + task.period
+                        if lc_in_high and policy.drops_lc_on_switch:
+                            result.lc_releases_suppressed += 1
+                            continue
                     idx = job_counter[task.task_id]
                     job_counter[task.task_id] += 1
                     exec_time = scenario.execution_time(task, idx)
@@ -146,9 +173,10 @@ class UniprocessorSim:
                             f"scenario returned execution time {exec_time} for "
                             f"{task.name} job {idx}, outside [1, {limit}]"
                         )
-                    ready.append(
-                        _Job(task, idx, rel, rel + task.deadline, exec_time)
-                    )
+                    if budget is not None and exec_time > budget:
+                        exec_time = budget
+                        result.lc_jobs_degraded += 1
+                    ready.append(_Job(task, idx, rel, deadline, exec_time))
                     result.jobs_released += 1
 
         def record_misses(now: int) -> None:
@@ -163,6 +191,9 @@ class UniprocessorSim:
                             job.release,
                             job.deadline,
                             high_mode,
+                            degraded_service=(
+                                service is not None and not job.task.is_high
+                            ),
                         )
                     )
 
@@ -170,7 +201,31 @@ class UniprocessorSim:
             nonlocal high_mode
             high_mode = True
             result.mode_switches.append(now)
-            if policy.drops_lc_on_switch:
+            if service is not None:
+                # Degrade pending LC jobs to their HI-mode allowance: a job
+                # that already consumed it completes at the degraded level
+                # (contract fulfilled — removed without a miss); the rest
+                # continue with their demand truncated to the allowance.
+                kept = []
+                for job in ready:
+                    if job.task.is_high:
+                        kept.append(job)
+                        continue
+                    budget = min(
+                        service.degraded_budget(job.task), job.task.wcet_lo
+                    )
+                    if job.executed >= budget:
+                        if budget == 0:
+                            result.lc_jobs_dropped += 1
+                        else:
+                            result.lc_jobs_degraded += 1
+                        continue
+                    if job.exec_time > budget:
+                        job.exec_time = budget
+                        result.lc_jobs_degraded += 1
+                    kept.append(job)
+                ready[:] = kept
+            elif policy.drops_lc_on_switch:
                 dropped = [j for j in ready if not j.task.is_high]
                 result.lc_jobs_dropped += len(dropped)
                 ready[:] = [j for j in ready if j.task.is_high]
@@ -195,7 +250,9 @@ class UniprocessorSim:
 
             job = min(
                 ready,
-                key=lambda j: policy.priority_key(j.task, j.release, high_mode),
+                key=lambda j: policy.priority_key(
+                    j.task, j.release, high_mode, deadline=j.deadline
+                ),
             )
             if last_running is not None and last_running is not job:
                 if not last_running.complete and last_running in ready:

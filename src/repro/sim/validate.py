@@ -37,15 +37,25 @@ DEFAULT_HORIZON = 20_000
 def policy_for(
     test: SchedulabilityTest,
     analysis: AnalysisResult,
+    service=None,
 ) -> SchedulingPolicy:
-    """The runtime policy certified by ``test``'s analysis outcome."""
+    """The runtime policy certified by ``test``'s analysis outcome.
+
+    ``service`` is the LC service model the analysis assumed (usually the
+    analyzed task set's ``service_model``); the mode-aware policies honor
+    it at the mode switch instead of unconditionally dropping LC work.
+    """
     name = test.name
     if name.startswith("edf-vd"):
-        return EDFVDPolicy(scaling_factor=analysis.scaling_factor)
+        return EDFVDPolicy(
+            scaling_factor=analysis.scaling_factor, service=service
+        )
     if name in ("ey", "ecdf"):
-        return EDFVDPolicy(virtual_deadlines=analysis.virtual_deadlines)
+        return EDFVDPolicy(
+            virtual_deadlines=analysis.virtual_deadlines, service=service
+        )
     if name.startswith("amc"):
-        return AMCPolicy(analysis.priorities)
+        return AMCPolicy(analysis.priorities, service=service)
     if name.startswith("edf"):
         return EDFPolicy()
     raise ValueError(f"no runtime policy known for test {name!r}")
@@ -71,11 +81,13 @@ def standard_scenarios(
     if taskset.high_tasks:
         scenarios.append(FixedOverrunScenario(None))
     for run in range(random_runs):
+        seed = int(rng.integers(2**63))
         scenarios.append(
             RandomScenario(
-                np.random.default_rng(rng.integers(2**63)),
+                np.random.default_rng(seed),
                 overrun_prob=0.3,
                 random_phases=run % 2 == 1,
+                seed=seed,
             )
         )
     return scenarios
@@ -92,12 +104,21 @@ def validate_against_simulation(
 
     Returns all MC violations as ``(scenario_label, miss)`` pairs — an empty
     list is the expected outcome.  Raises ``ValueError`` when the test
-    rejects ``taskset`` (callers should only validate accepted sets).
+    rejects ``taskset`` (callers should only validate accepted sets), or
+    when the test cannot honor the task set's LC service model — analyzing
+    with drop-at-switch semantics and then simulating degraded semantics
+    would validate against a mismatched certificate.
     """
+    if not test.supports_service_model(taskset.service_model):
+        raise ValueError(
+            f"test {test.name!r} does not analyze LC tasks under the "
+            f"{taskset.service_model.spec()!r} service model; its verdicts "
+            "assume drop-at-switch and cannot certify a degraded runtime"
+        )
     analysis = test.analyze(taskset)
     if not analysis.schedulable:
         raise ValueError("validate_against_simulation requires an accepted task set")
-    policy = policy_for(test, analysis)
+    policy = policy_for(test, analysis, service=taskset.service_model)
     violations: list[tuple[str, MissRecord]] = []
     sim = UniprocessorSim(taskset, policy)
     for scenario in standard_scenarios(taskset, rng, random_runs):

@@ -1,0 +1,230 @@
+"""Unit tests for the ServiceModel abstraction and its model threading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.degradation import (
+    FULL_DROP,
+    ElasticPeriod,
+    FullDrop,
+    ImpreciseBudget,
+    parse_service_model,
+    registered_service_models,
+)
+from repro.model import MCTask, TaskSet
+
+from tests.conftest import hc_task, lc_task
+
+
+class TestParsing:
+    def test_registered_models(self):
+        assert set(registered_service_models()) == {
+            "full-drop",
+            "imprecise",
+            "elastic",
+        }
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            (None, ("full-drop",)),
+            ("", ("full-drop",)),
+            ("full-drop", ("full-drop",)),
+            ("imprecise:0.5", ("imprecise", 0.5)),
+            ("imprecise:0", ("imprecise", 0.0)),
+            ("elastic:2", ("elastic", 2.0)),
+            ("elastic:1.5", ("elastic", 1.5)),
+        ],
+    )
+    def test_parse(self, spec, expected):
+        assert parse_service_model(spec).key() == expected
+
+    def test_parse_passthrough(self):
+        model = ImpreciseBudget(0.25)
+        assert parse_service_model(model) is model
+
+    def test_spec_round_trips(self):
+        for model in (FULL_DROP, ImpreciseBudget(0.75), ElasticPeriod(3.0)):
+            assert parse_service_model(model.spec()) == model
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus", "imprecise", "elastic", "imprecise:x", "full-drop:1"]
+    )
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_service_model(spec)
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            parse_service_model(0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ImpreciseBudget(1.5)
+        with pytest.raises(ValueError):
+            ImpreciseBudget(-0.1)
+        with pytest.raises(ValueError):
+            ElasticPeriod(0.5)
+
+
+class TestModelSemantics:
+    def test_full_drop_is_neutral(self):
+        task = lc_task(50, 10)
+        assert FULL_DROP.is_full_drop
+        assert FULL_DROP.degraded_budget(task) == 0
+        assert FULL_DROP.residual_utilization(task) == 0.0
+        assert FULL_DROP.lc_hi_parameters(task) is None
+
+    def test_imprecise_budget_floor(self):
+        task = lc_task(50, 10)
+        model = ImpreciseBudget(0.55)
+        assert model.degraded_budget(task) == 5  # floor(0.55 * 10)
+        assert model.degraded_period(task) == 50
+        assert model.degraded_deadline(task) == 50
+        assert model.residual_utilization(task) == 5 / 50
+        assert model.lc_hi_parameters(task) == (5, 50)
+
+    def test_imprecise_zero_drops_but_is_not_full_drop(self):
+        task = lc_task(50, 10)
+        model = ImpreciseBudget(0.0)
+        assert not model.is_full_drop
+        assert model.lc_hi_parameters(task) is None
+        assert model.residual_utilization(task) == 0.0
+
+    def test_elastic_stretches_period_and_deadline(self):
+        task = lc_task(50, 10, deadline=40)
+        model = ElasticPeriod(1.5)
+        assert model.degraded_budget(task) == 10
+        assert model.degraded_period(task) == 75
+        # deadline stretches by the same absolute slack: stays constrained
+        assert model.degraded_deadline(task) == 40 + 25
+        assert model.residual_utilization(task) == 10 / 75
+
+    def test_hc_tasks_are_untouched(self):
+        task = hc_task(100, 20, 40)
+        for model in (FULL_DROP, ImpreciseBudget(0.5), ElasticPeriod(2.0)):
+            assert model.residual_utilization(task) == 0.0
+            assert model.lc_hi_parameters(task) is None
+            assert model.degraded_period(task) == 100
+
+    def test_per_task_field_overrides(self):
+        task = lc_task(50, 10)
+        custom_budget = MCTask(
+            period=50,
+            criticality="LC",
+            wcet_lo=10,
+            wcet_hi=10,
+            wcet_degraded=7,
+        )
+        assert ImpreciseBudget(0.1).degraded_budget(custom_budget) == 7
+        assert ImpreciseBudget(0.1).degraded_budget(task) == 1
+        custom_period = MCTask(
+            period=50,
+            criticality="LC",
+            wcet_lo=10,
+            wcet_hi=10,
+            period_degraded=200,
+        )
+        assert ElasticPeriod(1.5).degraded_period(custom_period) == 200
+        assert ElasticPeriod(1.5).degraded_period(task) == 75
+
+    def test_equality_and_hash(self):
+        assert ImpreciseBudget(0.5) == ImpreciseBudget(0.5)
+        assert ImpreciseBudget(0.5) != ImpreciseBudget(0.6)
+        assert ImpreciseBudget(0.5) != ElasticPeriod(2.0)
+        assert FullDrop() == FULL_DROP
+        assert hash(ImpreciseBudget(0.5)) == hash(ImpreciseBudget(0.5))
+
+
+class TestTaskSetCarriage:
+    def make(self):
+        return TaskSet([hc_task(100, 20, 40), lc_task(50, 10), lc_task(80, 16)])
+
+    def test_default_has_no_model(self):
+        ts = self.make()
+        assert ts.service_model is None
+        assert ts.effective_service.is_full_drop
+        assert ts.residual_utilization == 0.0
+
+    def test_spec_string_accepted(self):
+        ts = TaskSet(self.make(), service_model="imprecise:0.5")
+        assert ts.service_model == ImpreciseBudget(0.5)
+
+    def test_full_drop_equals_none(self):
+        ts = self.make()
+        assert ts.with_service_model(FullDrop()) == ts
+        assert hash(ts.with_service_model(FullDrop())) == hash(ts)
+
+    def test_degraded_model_distinguishes(self):
+        ts = self.make()
+        degraded = ts.with_service_model("imprecise:0.5")
+        assert degraded != ts
+        assert degraded == ts.with_service_model(ImpreciseBudget(0.5))
+        assert degraded != ts.with_service_model("imprecise:0.6")
+
+    def test_residual_utilization_sum(self):
+        ts = self.make().with_service_model("imprecise:0.5")
+        assert ts.residual_utilization == pytest.approx(5 / 50 + 8 / 80)
+        elastic = self.make().with_service_model("elastic:2.0")
+        assert elastic.residual_utilization == pytest.approx(
+            10 / 100 + 16 / 160
+        )
+
+    def test_model_propagates_through_updates(self):
+        ts = self.make().with_service_model("elastic:2.0")
+        extra = lc_task(60, 6)
+        for derived in (
+            ts.with_task(extra),
+            ts.without_task(ts[1]),
+            ts.sorted_by(lambda t: t.period),
+            ts[:2],
+            ts.high_tasks,
+            ts.low_tasks,
+        ):
+            assert derived.service_model == ElasticPeriod(2.0)
+
+    def test_apply_attaches(self):
+        ts = self.make()
+        applied = ImpreciseBudget(0.5).apply(ts)
+        assert applied.service_model == ImpreciseBudget(0.5)
+        assert list(applied) == list(ts)
+
+
+class TestDegradedTaskFields:
+    def test_round_trip_serialization(self):
+        task = MCTask(
+            period=50,
+            criticality="LC",
+            wcet_lo=10,
+            wcet_hi=10,
+            wcet_degraded=4,
+            period_degraded=100,
+        )
+        data = task.to_dict()
+        assert data["wcet_degraded"] == 4
+        assert data["period_degraded"] == 100
+        again = MCTask.from_dict(data)
+        assert again.wcet_degraded == 4
+        assert again.period_degraded == 100
+
+    def test_unset_fields_stay_out_of_dict(self):
+        assert "wcet_degraded" not in lc_task(50, 10).to_dict()
+        assert "period_degraded" not in lc_task(50, 10).to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="wcet_degraded"):
+            MCTask(
+                period=50, criticality="LC", wcet_lo=10, wcet_hi=10,
+                wcet_degraded=11,
+            )
+        with pytest.raises(ValueError, match="period_degraded"):
+            MCTask(
+                period=50, criticality="LC", wcet_lo=10, wcet_hi=10,
+                period_degraded=40,
+            )
+        with pytest.raises(ValueError, match="LC tasks"):
+            MCTask(
+                period=50, criticality="HC", wcet_lo=10, wcet_hi=20,
+                wcet_degraded=5,
+            )

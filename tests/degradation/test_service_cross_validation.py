@@ -1,0 +1,115 @@
+"""Sim-vs-analysis cross-validation, per service model.
+
+The degradation analogue of :mod:`tests.analysis.test_cross_validation`:
+for every service model, any task set *accepted* by the extended analyses
+must survive the adversarial simulation battery under the matching
+degradation-aware runtime policy with zero MC violations — where, under
+degraded service, an LC deadline miss in HI mode *is* a violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ECDFTest, EDFVDTest, EYTest
+from repro.degradation import parse_service_model
+from repro.generator import GeneratorConfig, MCTaskSetGenerator
+from repro.sim import validate_against_simulation
+from repro.util.rng import derive_rng
+
+SERVICE_SPECS = (
+    "full-drop",
+    "imprecise:0.25",
+    "imprecise:0.5",
+    "imprecise:1.0",
+    "elastic:1.5",
+    "elastic:2.0",
+)
+
+#: generation targets spanning light to heavy single-core loads; the light
+#: end keeps even full-LC-service (rho=1, small lambda) accepts in play
+TARGETS = [
+    (0.25, 0.1, 0.2),
+    (0.35, 0.2, 0.25),
+    (0.45, 0.25, 0.3),
+    (0.6, 0.3, 0.35),
+]
+
+
+def tasksets(deadline_type: str, count: int):
+    generator = MCTaskSetGenerator(
+        GeneratorConfig(m=1, deadline_type=deadline_type, n_min=3, n_max=6)
+    )
+    rng = derive_rng("degradation-xval", deadline_type)
+    out = []
+    attempts = 0
+    while len(out) < count and attempts < 40 * count:
+        attempts += 1
+        u_hh, u_lh, u_ll = TARGETS[attempts % len(TARGETS)]
+        taskset = generator.generate(rng, u_hh, u_lh, u_ll)
+        if taskset is not None:
+            out.append(taskset)
+    return out
+
+
+@pytest.mark.parametrize("spec", SERVICE_SPECS)
+class TestAcceptedSetsSimulateCleanly:
+    def check(self, test, deadline_type: str, spec: str):
+        service = parse_service_model(spec)
+        accepted = 0
+        for index, base in enumerate(tasksets(deadline_type, 12)):
+            taskset = (
+                base
+                if service.is_full_drop
+                else base.with_service_model(service)
+            )
+            if not test.analyze(taskset).schedulable:
+                continue
+            accepted += 1
+            violations = validate_against_simulation(
+                taskset,
+                test,
+                derive_rng("deg-xval-sim", spec, test.name, index),
+                horizon=8000,
+                random_runs=2,
+            )
+            assert violations == [], (
+                f"{test.name} accepted a {spec} set that violated MC "
+                f"correctness in simulation: {violations[:3]}"
+            )
+        # The targets are chosen so the battery actually validates accepts.
+        assert accepted > 0, f"{test.name}/{spec}: no accepted set exercised"
+
+    def test_edf_vd(self, spec):
+        self.check(EDFVDTest(), "implicit", spec)
+
+    def test_ecdf(self, spec):
+        self.check(ECDFTest(), "implicit", spec)
+
+    def test_ey(self, spec):
+        self.check(EYTest(), "implicit", spec)
+
+
+@pytest.mark.parametrize("spec", ("imprecise:0.25", "imprecise:0.5"))
+@pytest.mark.parametrize("test_factory", (ECDFTest, EYTest))
+def test_constrained_deadline_accepts_simulate_cleanly(test_factory, spec):
+    """Constrained-deadline coverage for the degradation levels at which
+    the demand tests retain an acceptance region (near-full LC service has
+    essentially none there — the carry-over pessimism compounds)."""
+    test = test_factory()
+    service = parse_service_model(spec)
+    accepted = 0
+    for index, base in enumerate(tasksets("constrained", 12)):
+        taskset = base.with_service_model(service)
+        if not test.analyze(taskset).schedulable:
+            continue
+        accepted += 1
+        violations = validate_against_simulation(
+            taskset,
+            test,
+            derive_rng("deg-xval-constrained", spec, test.name, index),
+            horizon=8000,
+            random_runs=2,
+        )
+        assert violations == []
+    assert accepted > 0

@@ -28,11 +28,13 @@ class TestFigureConfigs:
         assert "eca-wu-f-ey" in FIG6B_ALGORITHMS
 
     def test_all_figures_registered(self):
-        assert set(FIGURES) == {"fig3", "fig4", "fig5", "fig6a", "fig6b"}
+        assert set(FIGURES) == {
+            "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+        }
 
     def test_run_figure_unknown(self):
         with pytest.raises(KeyError, match="known"):
-            run_figure("fig7")
+            run_figure("fig9")
 
 
 class TestFigurePlan:

@@ -35,3 +35,10 @@ class TestCriticality:
     def test_parse_unknown_int(self):
         with pytest.raises(ValueError):
             Criticality.parse(7)
+
+    @pytest.mark.parametrize("value", [True, False])
+    def test_parse_rejects_bool(self, value):
+        # Regression: bool is an int subclass, so True used to parse
+        # silently as HC via the int path — hiding argument-order bugs.
+        with pytest.raises(ValueError, match="bool"):
+            Criticality.parse(value)

@@ -56,9 +56,22 @@ class TestScenarioBattery:
         assert any("Nominal" in label for label in labels)
         assert any("FixedOverrun" in label for label in labels)
         assert sum("Random" in label for label in labels) == 2
-        # one single-overrun + one mid-stream overrun per HC task, plus all-HC
+        # one single-overrun + one mid-stream overrun per HC task, plus
+        # all-HC; the per-task labels embed the overrunning task's id
         n_hc = len(simple_mixed_taskset.high_tasks)
-        assert sum("selected" in label for label in labels) == 2 * n_hc
+        assert sum("tasks=" in label for label in labels) == 2 * n_hc
+        for task in simple_mixed_taskset.high_tasks:
+            assert (
+                sum(f"tasks={task.task_id}," in label or
+                    label.endswith(f"tasks={task.task_id}, every job)") or
+                    f"tasks={task.task_id}, job" in label
+                    for label in labels)
+                >= 2
+            )
+        # the randomized scenarios are distinguishable by their seeds
+        random_labels = [label for label in labels if "Random" in label]
+        assert len(set(random_labels)) == len(random_labels)
+        assert all("seed=" in label for label in random_labels)
 
 
 class TestValidateAgainstSimulation:
