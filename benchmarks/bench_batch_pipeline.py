@@ -1,0 +1,154 @@
+"""Scalar vs batched end-to-end sweep throughput (the batch pipeline).
+
+The columnar batch pipeline (PR 4) threads one ``TaskSetBatch`` per bucket
+through the exact prefilter bank and the utilization-ledger replay before
+anything falls back to the per-taskset path.  This benchmark drives both
+pipelines over the same figure slices — generation included, exactly what
+one campaign shard executes — asserts their outcomes stay bit-identical,
+and records the throughput trajectory in ``BENCH_batch.json`` at the repo
+root (also uploaded as a CI artifact).
+
+Measured reality vs the issue's target: the batched pipeline settles the
+*EDF-VD* sweeps (fig3/fig6a) almost entirely from columns — the screen is
+complete, no task objects are ever built — which is where the largest
+end-to-end factors come from (~2-2.5x serial; more at paper scale where
+generation amortizes).  On fig4 the factor is bounded near 1x: ~80% of
+that sweep's runtime is the EY virtual-deadline descent on gap probes,
+which no exact columnar shortcut can settle (the issue's 3x aspiration for
+fig4 is not reachable under the bit-identical-results constraint; the JSON
+records the honest number and the settled fractions that explain it).
+
+Scale knobs: ``REPRO_SAMPLES`` (task sets per UB bucket, default 10) and
+``REPRO_M`` (processor counts for the fig3 rows, default ``2,4,8``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.acceptance import (
+    AcceptanceSweep,
+    SweepConfig,
+    settled_summary,
+)
+from repro.experiments.algorithms import get_algorithm
+from repro.experiments.figures import FIG3_ALGORITHMS, FIG45_ALGORITHMS
+
+from conftest import RESULTS_DIR, bench_m_values, bench_samples, emit
+
+#: The committed artifact lives at the repo root (the issue's contract);
+#: a copy lands in benchmarks/results/ like every other bench output.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (figure label, deadline type, algorithm names, m values) rows.
+def bench_rows():
+    return [
+        ("fig3", "implicit", FIG3_ALGORITHMS, bench_m_values()),
+        ("fig4", "implicit", FIG45_ALGORITHMS, (4,)),
+    ]
+
+
+def run_pipeline(label, deadline_type, names, m, samples, pipeline, repeats=2):
+    """Best-of-N end-to-end sweep (generation + all algorithms)."""
+    config = SweepConfig(
+        label=label,
+        m=m,
+        deadline_type=deadline_type,
+        samples_per_bucket=samples,
+    )
+    algorithms = [get_algorithm(name) for name in names]
+    best = None
+    outcomes = None
+    for _ in range(repeats):
+        sweep = AcceptanceSweep(config, pipeline=pipeline)
+        start = time.process_time()
+        current = [
+            sweep.run_bucket(bucket, points, algorithms)
+            for bucket, points in sweep.bucket_points().items()
+        ]
+        elapsed = time.process_time() - start
+        if best is None or elapsed < best:
+            best, outcomes = elapsed, current
+    return best, outcomes
+
+
+def settled_fractions(outcomes):
+    """Aggregate per-mechanism settled fractions across algorithms."""
+    summary = settled_summary(outcomes)
+    totals: dict[str, int] = {}
+    for counts in summary.values():
+        for source, count in counts.items():
+            totals[source] = totals.get(source, 0) + count
+    grand = sum(totals.values())
+    if not grand:
+        return {}
+    return {source: round(count / grand, 4) for source, count in totals.items()}
+
+
+def test_bench_batch_pipeline_report():
+    """Parity + throughput summary; emits the BENCH_batch.json artifact."""
+    samples = bench_samples()
+    report = {
+        "samples_per_bucket": samples,
+        "pipelines": {
+            "scalar": "per-taskset AcceptanceSweep loop (incremental probes)",
+            "batched": "columnar prefilters + ledger replay + fallback",
+        },
+        "host": {"python": platform.python_version()},
+        "figures": {},
+    }
+    lines = ["figure  m   tasksets   scalar       batched      speedup  ts/s(batched)"]
+    speedups: dict[str, dict[int, float]] = {}
+    for label, deadline_type, names, m_values in bench_rows():
+        fig_report = {}
+        for m in m_values:
+            t_scalar, out_scalar = run_pipeline(
+                label, deadline_type, names, m, samples, "scalar"
+            )
+            t_batched, out_batched = run_pipeline(
+                label, deadline_type, names, m, samples, "batched"
+            )
+            # The non-negotiable invariant: identical shard outcomes.
+            assert out_scalar == out_batched, (
+                f"{label} m={m}: batched pipeline diverged from scalar"
+            )
+            n_sets = sum(o.samples for o in out_scalar)
+            speedup = t_scalar / t_batched
+            speedups.setdefault(label, {})[m] = speedup
+            fig_report[str(m)] = {
+                "tasksets": n_sets,
+                "algorithms": list(names),
+                "scalar_s": round(t_scalar, 4),
+                "batched_s": round(t_batched, 4),
+                "speedup": round(speedup, 3),
+                "tasksets_per_sec_scalar": round(n_sets / t_scalar, 1),
+                "tasksets_per_sec_batched": round(n_sets / t_batched, 1),
+                "settled_fractions": settled_fractions(out_batched),
+            }
+            lines.append(
+                f"{label:<7} {m:<3} {n_sets:<10} {t_scalar:>8.3f}s "
+                f"{t_batched:>10.3f}s {speedup:>8.2f}x "
+                f"{n_sets / t_batched:>10.0f}"
+            )
+        report["figures"][label] = fig_report
+
+    emit("BENCH_batch", "\n".join(lines))
+    payload = json.dumps(report, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_batch.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(payload)
+
+    # Regression tripwires, kept well below the locally measured factors
+    # so noisy CI runners don't flake: the EDF-VD sweep must stay clearly
+    # ahead end-to-end, and fig4 (EY-descent dominated, measured ~1.0x;
+    # see module docstring) must not fall meaningfully behind the scalar
+    # path — 0.7 leaves a wide margin for tiny-sample CI timing noise
+    # while still catching a real batched-pipeline overhead regression.
+    fig3 = speedups["fig3"]
+    assert max(fig3.values()) >= 1.5, f"fig3 batched speedup regressed: {fig3}"
+    assert speedups["fig4"][4] >= 0.7, (
+        f"fig4 batched pipeline regressed: {speedups['fig4'][4]:.2f}x"
+    )

@@ -37,6 +37,15 @@ CONSTRAINED_ALGORITHMS = (
     "eca-wu-f-ey",
     "ca-f-f-ey",
 )
+#: With a degraded LC service model the interesting comparison is the
+#: residual-aware UDP strategies against their plain twins (AMC cannot
+#: analyze degraded service and drops out).
+DEGRADED_ALGORITHMS = (
+    "cu-udp-edf-vd",
+    "cu-udp-res-edf-vd",
+    "cu-udp-res-ecdf",
+    "cu-udp-res-ey",
+)
 
 
 def parse_args() -> argparse.Namespace:
@@ -57,16 +66,50 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--ub-min", type=float, default=0.4, help="skip buckets below this UB"
     )
+    parser.add_argument(
+        "--service",
+        default="full-drop",
+        help=(
+            "LC service model in HI mode: full-drop (default), "
+            "imprecise:<rho> or elastic:<lambda>; a degraded model switches "
+            "to the residual-aware UDP algorithm set (implicit only)"
+        ),
+    )
     return parser.parse_args()
+
+
+def show_worked_partition(config: SweepConfig, algorithm_name: str) -> None:
+    """Partition one generated task set and print the per-core breakdown.
+
+    Under a degraded service model the ``describe()`` lines include
+    ``U_res`` and ``rdiff`` — the residual-aware difference the
+    ``*-res`` strategies balance — next to the classical ``diff``.
+    """
+    sweep = AcceptanceSweep(config)
+    algorithm = get_algorithm(algorithm_name)
+    for bucket, points in sorted(sweep.bucket_points().items()):
+        for taskset in sweep.tasksets_for_bucket(bucket, points):
+            result = algorithm.partition(taskset, config.m)
+            if result.success:
+                print(f"worked example (UB~{bucket:.2f}):")
+                print(result.describe())
+                return
 
 
 def main() -> None:
     args = parse_args()
-    names = (
-        IMPLICIT_ALGORITHMS
-        if args.deadline == "implicit"
-        else CONSTRAINED_ALGORITHMS
-    )
+    degraded = args.service != "full-drop"
+    if degraded and args.deadline != "implicit":
+        raise SystemExit(
+            "--service currently pairs with --deadline implicit (the "
+            "degraded sweeps mirror fig7)"
+        )
+    if degraded:
+        names = DEGRADED_ALGORITHMS
+    elif args.deadline == "implicit":
+        names = IMPLICIT_ALGORITHMS
+    else:
+        names = CONSTRAINED_ALGORITHMS
     algorithms = [get_algorithm(name) for name in names]
 
     config = SweepConfig(
@@ -76,7 +119,11 @@ def main() -> None:
         p_high=args.ph,
         samples_per_bucket=args.samples,
         ub_min=args.ub_min,
+        service=args.service,
     )
+    if degraded:
+        show_worked_partition(config, "cu-udp-res-edf-vd")
+        print()
     sweep = AcceptanceSweep(config).run(algorithms)
 
     print(render_sweep(sweep))

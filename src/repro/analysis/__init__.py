@@ -45,6 +45,11 @@ from repro.analysis.interface import (
     get_test,
     registered_tests,
 )
+from repro.analysis.prefilter import (
+    PrefilterBank,
+    PrefilterReport,
+    default_prefilter_bank,
+)
 
 __all__ = [
     "AMCmaxTest",
@@ -58,7 +63,10 @@ __all__ = [
     "AnalysisResult",
     "DemandContext",
     "EDFVDContext",
+    "PrefilterBank",
+    "PrefilterReport",
     "SchedulabilityTest",
+    "default_prefilter_bank",
     "edfvd_scaling_factor",
     "get_test",
     "registered_tests",

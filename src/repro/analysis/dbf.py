@@ -71,6 +71,7 @@ __all__ = [
     "DemandScenario",
     "HorizonExceeded",
     "LoShrinkProbe",
+    "overload_marker",
     "sporadic_dbf",
     "hi_mode_dbf",
     "lc_hi_mode_dbf",
@@ -160,6 +161,24 @@ def lc_hi_mode_entries(taskset: TaskSet) -> list[tuple[int, "_ModeTask"]]:
 def lc_hi_mode_tasks(taskset: TaskSet) -> list["_ModeTask"]:
     """The :class:`_ModeTask` half of :func:`lc_hi_mode_entries`."""
     return [mode_task for _, mode_task in lc_hi_mode_entries(taskset)]
+
+
+def overload_marker(tasks) -> int:
+    """The violation *marker* reported when a mode's utilization exceeds 1.
+
+    With total utilization above 1 a demand violation is guaranteed at
+    *some* interval length, so the checks short-circuit instead of scanning
+    for the exact point.  The value they report — the smallest deadline of
+    the mode's tasks (0 for an empty list) — is a **marker, not the
+    earliest violating length**: a smaller breakpoint may well violate too.
+    Callers must treat any non-None violation as "infeasible here" and may
+    only use the returned length as a monotone scan hint, never as the
+    exact violation front.  Both :meth:`DemandScenario.lo_violation` and
+    :meth:`DemandScenario.hi_violation` (and the windowed scan in
+    :mod:`repro.analysis.vdtuning`) share this one definition so the
+    convention cannot drift between the modes.
+    """
+    return min((t.deadline for t in tasks), default=0)
 
 
 #: Breakpoint chunk size for the early-exit violation scan.  During
@@ -341,14 +360,17 @@ class DemandScenario:
         Returns None when the LO-mode dbf test passes.  Raises
         :class:`HorizonExceeded` when the horizon cap is hit.
 
-        When total utilization exceeds 1 a violation is guaranteed at *some*
-        length; the check short-circuits and reports the first deadline as a
-        marker rather than scanning for the exact point.
+        When total utilization exceeds 1 a violation is guaranteed at
+        *some* length; the check short-circuits and reports
+        :func:`overload_marker` — the smallest LO deadline, which is **not
+        necessarily the earliest violating length** (a smaller breakpoint
+        may violate).  Callers must interpret any non-None return as
+        "infeasible", never as an exact violation front; see the marker
+        contract on :func:`overload_marker`.
         """
         horizon = self._horizon(self._lo, self.horizon_cap)
         if horizon is None:
-            # Utilization > 1: report a violation at the first deadline.
-            return min((t.deadline for t in self._lo), default=0)
+            return overload_marker(self._lo)
         if horizon == 0:
             return None
         points = self._breakpoints(self._lo, horizon, ramps=False)
@@ -364,15 +386,16 @@ class DemandScenario:
         refinement min).  A core without HC tasks can never switch modes
         locally, so it vacuously passes — degraded LC demand included, as
         it only materializes after a switch.  As in :meth:`lo_violation`,
-        HI utilization above 1 short-circuits with the first residual
-        deadline as a marker.
+        HI utilization above 1 short-circuits with the same
+        :func:`overload_marker` convention — the smallest residual
+        deadline, a marker rather than the exact earliest violation.
         """
         if not self._hi:
             return None
         tasks = self._hi + self._hi_lc
         horizon = self._horizon(tasks, self.horizon_cap)
         if horizon is None:
-            return min(t.deadline for t in tasks)
+            return overload_marker(tasks)
         # Even at horizon 0 the carry-over term can demand C_H - C_L at l=0;
         # always include the breakpoints up to at least the first deadlines.
         horizon = max(horizon, max(t.deadline for t in tasks))

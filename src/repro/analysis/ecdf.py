@@ -80,5 +80,11 @@ class ECDFTest(SchedulabilityTest):
 
         return DemandContext(self, self.stages, self.horizon_cap, service=service)
 
+    def batch_screen(self):
+        """Partial probe screen — the context's utilization pre-screen."""
+        from repro.analysis.prefilter import DemandPreScreen
+
+        return DemandPreScreen()
+
 
 register_test("ecdf", ECDFTest)

@@ -146,6 +146,12 @@ class EDFVDTest(SchedulabilityTest):
 
         return EDFVDContext(self, service=service)
 
+    def batch_screen(self):
+        """Complete probe screen — the utilization test *is* O(1)."""
+        from repro.analysis.prefilter import EDFVDScreen
+
+        return EDFVDScreen()
+
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
         if not taskset.is_implicit_deadline:
             raise ValueError(

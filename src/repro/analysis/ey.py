@@ -58,5 +58,11 @@ class EYTest(SchedulabilityTest):
 
         return DemandContext(self, _EY_STAGES, self.horizon_cap, service=service)
 
+    def batch_screen(self):
+        """Partial probe screen — the context's utilization pre-screen."""
+        from repro.analysis.prefilter import DemandPreScreen
+
+        return DemandPreScreen()
+
 
 register_test("ey", EYTest)

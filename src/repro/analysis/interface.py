@@ -61,6 +61,15 @@ class SchedulabilityTest(abc.ABC):
     #: short stable identifier (used by the registry and reports)
     name: str = "abstract"
 
+    #: Whether a subset of a schedulable task set is always schedulable
+    #: under this test — equivalently, failure of a subset implies failure
+    #: of every superset.  All registered tests have this property (their
+    #: demand/response terms are non-negative per task and the acceptance
+    #: searches are complete on singletons); the lone-task prefilter of
+    #: :mod:`repro.analysis.prefilter` relies on it, so a test without it
+    #: must set this False to opt out of that filter.
+    is_subset_monotone: bool = True
+
     @abc.abstractmethod
     def analyze(self, taskset: TaskSet) -> AnalysisResult:
         """Run the full analysis and return details."""
@@ -115,6 +124,21 @@ class SchedulabilityTest(abc.ABC):
         ``service`` is the LC service model of the task set being
         partitioned (None = drop-at-switch); contexts carry it so candidate
         task sets and running residual-utilization sums reflect it.
+        """
+        return None
+
+    def batch_screen(self) -> "ProbeScreen | None":
+        """The O(1) probe decider for the columnar allocation replay.
+
+        Tests whose admission probes are (partially) determined by the
+        candidate's utilization sums alone return a
+        :class:`~repro.analysis.prefilter.ProbeScreen`;
+        :func:`repro.core.batch.partition_batch` replays the allocation
+        loop through it and settles every task set whose walk stays inside
+        the decided region.  The screen must mirror the incremental
+        context's arithmetic bit-for-bit — a screen verdict and a context
+        probe verdict may never disagree.  None (the default) disables the
+        replay for this test.
         """
         return None
 

@@ -60,6 +60,7 @@ from repro.analysis.dbf import (
     _ModeTask,
     hi_mode_dbf,
     lc_hi_mode_entries,
+    overload_marker,
 )
 
 __all__ = [
@@ -272,7 +273,10 @@ def _windowed_hi_check(
         raise state[1]
     horizon = state[1]
     if horizon is None:
-        violation = min(t.deadline for t in tasks)
+        # Utilization above 1: report the shared overload marker (see the
+        # contract on repro.analysis.dbf.overload_marker — a marker, not
+        # the earliest violating length).
+        violation = overload_marker(tasks)
         return (violation, _hi_point_demand(tasks, violation, refine, n_trigger))
     width = max(int(64 / density), 1)
     start = not_before

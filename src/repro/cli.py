@@ -124,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--progress", action="store_true", help="live shard progress on stderr"
     )
+    figure.add_argument(
+        "--pipeline",
+        choices=("batched", "scalar"),
+        default="batched",
+        help=(
+            "sweep execution pipeline: 'batched' (columnar prefilters + "
+            "ledger replay, default) or 'scalar' (per-taskset); results "
+            "are identical"
+        ),
+    )
 
     campaign = sub.add_parser(
         "campaign", help="run a figure campaign (parallel + resumable)"
@@ -158,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress",
         action="store_true",
         help="suppress the live progress line",
+    )
+    campaign.add_argument(
+        "--pipeline",
+        choices=("batched", "scalar"),
+        default="batched",
+        help=(
+            "sweep execution pipeline: 'batched' (columnar prefilters + "
+            "ledger replay, default) or 'scalar' (per-taskset); results "
+            "are identical"
+        ),
     )
 
     sens = sub.add_parser(
@@ -296,6 +316,7 @@ def _cmd_figure(args) -> int:
         jobs=_resolve_jobs(args.jobs),
         cache=cache,
         progress=progress,
+        pipeline=args.pipeline,
         **kwargs,
     )
     if progress is not None:
@@ -341,6 +362,7 @@ def _cmd_campaign(args) -> int:
         jobs=_resolve_jobs(args.jobs),
         cache_dir=args.cache_dir,
         progress=progress,
+        pipeline=args.pipeline,
     )
     figure_word = "figure" if len(report.outputs) == 1 else "figures"
     print(

@@ -30,6 +30,7 @@ from repro.core.allocator import (
     UnsupportedTasksetError,
     partition,
 )
+from repro.core.batch import BatchPartitionOutcome, partition_batch
 from repro.core.baselines import (
     bfd,
     ca_f_f,
@@ -46,11 +47,13 @@ from repro.core.strategies import (
 from repro.core.udp import ca_udp, ca_udp_res, cu_udp, cu_udp_res
 
 __all__ = [
+    "BatchPartitionOutcome",
     "PartitionResult",
     "PartitioningStrategy",
     "ProcessorState",
     "UnsupportedTasksetError",
     "partition",
+    "partition_batch",
     "ca_udp",
     "cu_udp",
     "ca_udp_res",

@@ -142,17 +142,42 @@ OrderRule = Callable[[TaskSet], list[MCTask]]
 
 @dataclass(frozen=True)
 class PartitioningStrategy:
-    """A named (order, HC fit, LC fit) triple; see module docstring."""
+    """A named (order, HC fit, LC fit) triple; see module docstring.
+
+    The optional ``*_spec`` fields are declarative twins of the callable
+    rules, consumed by the columnar allocation replay of
+    :func:`repro.core.batch.partition_batch`: an order spec is
+    ``("ca",)``, ``("ca-nosort",)``, ``("cu",)`` or
+    ``("heavy-lc-first", threshold)``; a fit spec is ``("first",)``,
+    ``("worst", metric)`` or ``("best", metric)`` with ``metric`` one of
+    ``"difference"``, ``"res-difference"``, ``"u-hh"`` or ``"u-lo"``
+    (matching the :class:`ProcessorState` properties the callable reads).
+    A spec must describe the callable exactly — the differential tests
+    compare the replayed walk against the real rules; strategies without
+    specs simply opt out of the replay.
+    """
 
     name: str
     order: OrderRule
     hc_fit: FitRule
     lc_fit: FitRule
     description: str = ""
+    order_spec: tuple | None = None
+    hc_fit_spec: tuple | None = None
+    lc_fit_spec: tuple | None = None
 
     def fit_for(self, task: MCTask) -> FitRule:
         """The fit rule that applies to ``task``'s criticality."""
         return self.hc_fit if task.is_high else self.lc_fit
+
+    @property
+    def replayable(self) -> bool:
+        """True when every rule carries a spec for the columnar replay."""
+        return (
+            self.order_spec is not None
+            and self.hc_fit_spec is not None
+            and self.lc_fit_spec is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -175,7 +200,14 @@ class PartitionResult:
         return self.assignment[task.task_id]
 
     def describe(self) -> str:
-        """Human-readable multi-line summary (used by the examples)."""
+        """Human-readable multi-line summary (used by the examples).
+
+        Under a degraded LC service model each core line additionally
+        reports ``U_res`` (the residual LC HI-mode utilization) and
+        ``rdiff`` (``U_HH + U_res - U_LH``) — the quantity the residual-
+        aware strategies (``ca-udp-res``/``cu-udp-res``) actually balance —
+        so the printout matches what ``res_udp_fit`` sorted cores by.
+        """
         lines = [
             f"{self.strategy_name} + {self.test_name} on m={self.m}: "
             + ("SUCCESS" if self.success else "FAILED")
@@ -183,11 +215,17 @@ class PartitionResult:
         for idx, core in enumerate(self.cores):
             util = core.utilization
             names = ", ".join(t.name for t in core) or "-"
-            lines.append(
+            line = (
                 f"  core {idx}: [{names}]  U_LL={util.u_ll:.3f} "
                 f"U_LH={util.u_lh:.3f} U_HH={util.u_hh:.3f} "
                 f"diff={util.difference:.3f}"
             )
+            service = core.service_model
+            if service is not None and not service.is_full_drop:
+                u_res = core.residual_utilization
+                rdiff = util.u_hh + u_res - util.u_lh
+                line += f" U_res={u_res:.3f} rdiff={rdiff:.3f}"
+            lines.append(line)
         if self.failed_task is not None:
             lines.append(f"  could not place: {self.failed_task}")
         return "\n".join(lines)

@@ -50,6 +50,9 @@ def ca_nosort_f_f() -> PartitioningStrategy:
         hc_fit=first_fit,
         lc_fit=first_fit,
         description="criticality-aware, unsorted, first-fit/first-fit",
+        order_spec=("ca-nosort",),
+        hc_fit_spec=("first",),
+        lc_fit_spec=("first",),
     )
 
 
@@ -61,6 +64,9 @@ def ca_f_f() -> PartitioningStrategy:
         hc_fit=first_fit,
         lc_fit=first_fit,
         description="criticality-aware, sorted, first-fit/first-fit",
+        order_spec=("ca",),
+        hc_fit_spec=("first",),
+        lc_fit_spec=("first",),
     )
 
 
@@ -72,6 +78,9 @@ def ca_wu_f() -> PartitioningStrategy:
         hc_fit=worst_fit_by(lambda p: p.u_hh),
         lc_fit=first_fit,
         description="criticality-aware, sorted, HC worst-fit on U_HH",
+        order_spec=("ca",),
+        hc_fit_spec=("worst", "u-hh"),
+        lc_fit_spec=("first",),
     )
 
 
@@ -86,6 +95,9 @@ def eca_wu_f(threshold: float = HEAVY_LC_THRESHOLD) -> PartitioningStrategy:
             f"heavy LC (u_L >= {threshold}) first, then HC worst-fit on "
             "U_HH, then light LC first-fit"
         ),
+        order_spec=("heavy-lc-first", threshold),
+        hc_fit_spec=("worst", "u-hh"),
+        lc_fit_spec=("first",),
     )
 
 
@@ -97,6 +109,9 @@ def ffd() -> PartitioningStrategy:
         hc_fit=first_fit,
         lc_fit=first_fit,
         description="first-fit decreasing utilization",
+        order_spec=("cu",),
+        hc_fit_spec=("first",),
+        lc_fit_spec=("first",),
     )
 
 
@@ -108,6 +123,9 @@ def wfd() -> PartitioningStrategy:
         hc_fit=worst_fit_by(lambda p: p.utilization_lo),
         lc_fit=worst_fit_by(lambda p: p.utilization_lo),
         description="worst-fit decreasing utilization",
+        order_spec=("cu",),
+        hc_fit_spec=("worst", "u-lo"),
+        lc_fit_spec=("worst", "u-lo"),
     )
 
 
@@ -119,6 +137,9 @@ def bfd() -> PartitioningStrategy:
         hc_fit=best_fit_by(lambda p: p.utilization_lo),
         lc_fit=best_fit_by(lambda p: p.utilization_lo),
         description="best-fit decreasing utilization",
+        order_spec=("cu",),
+        hc_fit_spec=("best", "u-lo"),
+        lc_fit_spec=("best", "u-lo"),
     )
 
 

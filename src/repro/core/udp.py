@@ -45,6 +45,9 @@ def ca_udp() -> PartitioningStrategy:
         description=(
             "criticality-aware; HC worst-fit on U_HH-U_LH, LC first-fit"
         ),
+        order_spec=("ca",),
+        hc_fit_spec=("worst", "difference"),
+        lc_fit_spec=("first",),
     )
 
 
@@ -58,6 +61,9 @@ def cu_udp() -> PartitioningStrategy:
         description=(
             "criticality-unaware order; HC worst-fit on U_HH-U_LH, LC first-fit"
         ),
+        order_spec=("cu",),
+        hc_fit_spec=("worst", "difference"),
+        lc_fit_spec=("first",),
     )
 
 
@@ -79,6 +85,9 @@ def ca_udp_res() -> PartitioningStrategy:
         description=(
             "criticality-aware; HC worst-fit on U_HH+U_res-U_LH, LC first-fit"
         ),
+        order_spec=("ca",),
+        hc_fit_spec=("worst", "res-difference"),
+        lc_fit_spec=("first",),
     )
 
 
@@ -93,6 +102,9 @@ def cu_udp_res() -> PartitioningStrategy:
             "criticality-unaware order; HC worst-fit on U_HH+U_res-U_LH, "
             "LC first-fit"
         ),
+        order_spec=("cu",),
+        hc_fit_spec=("worst", "res-difference"),
+        lc_fit_spec=("first",),
     )
 
 

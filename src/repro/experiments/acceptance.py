@@ -4,6 +4,21 @@ The paper's core experiment: for each value of the total normalized
 utilization ``UB``, generate many task sets (1000 in the paper) from the
 grid combinations mapping to that ``UB`` and report, per partitioned
 algorithm, the fraction deemed schedulable.
+
+Two pipelines produce the same numbers:
+
+* ``"batched"`` (the default) — task sets are generated straight into a
+  columnar :class:`~repro.model.batch.TaskSetBatch` and every algorithm
+  runs through :func:`repro.core.batch.partition_batch`: the exact
+  prefilter bank and the utilization-ledger replay settle what they can
+  from the columns, and only the remaining sets are materialized for the
+  incremental per-taskset path;
+* ``"scalar"`` — the historical one-taskset-at-a-time loop.
+
+The batched pipeline is bit-identical to the scalar one by construction
+(same derived RNG streams, exact-only settling; asserted by the
+differential tests), so ratios, WAR tables and shard-cache keys never
+depend on the pipeline choice — it is purely a throughput knob.
 """
 
 from __future__ import annotations
@@ -16,18 +31,23 @@ from repro.generator import (
     MCTaskSetGenerator,
     UtilizationGrid,
 )
-from repro.model import TaskSet
+from repro.model import TaskSet, TaskSetBatch
 from repro.util.rng import derive_rng
 from repro.experiments.algorithms import PartitionedAlgorithm
 
 __all__ = [
+    "PIPELINES",
     "SweepConfig",
     "SweepResult",
     "BucketOutcome",
     "AcceptanceSweep",
     "merge_outcomes",
+    "settled_summary",
     "validate_algorithms",
 ]
+
+#: Recognized sweep execution pipelines (see module docstring).
+PIPELINES = ("batched", "scalar")
 
 
 def validate_algorithms(
@@ -169,11 +189,45 @@ class BucketOutcome:
     merges (see :mod:`repro.runner`): the whole sweep is a deterministic
     function of its per-bucket outcomes.  ``ratios`` preserves the
     algorithm order of the sweep.
+
+    The columnar fields are diagnostics riding along with the shard:
+    ``accepted`` holds the integer acceptance counts the ratios derive
+    from (``ratio = accepted / samples``, the very division both pipelines
+    perform), and ``settled`` reports, per algorithm, how many sets each
+    batched-pipeline mechanism settled (prefilter names, ``"ledger"``,
+    ``"full"``).  Both are None for scalar-pipeline shards and for shards
+    loaded from caches that predate them — consumers must not rely on
+    their presence.
     """
 
     bucket: float
     samples: int  #: task sets actually generated (0 = bucket infeasible)
     ratios: dict[str, float]
+    #: neither diagnostic participates in outcome equality — two shards
+    #: with the same ratios are the same shard, however they were settled
+    accepted: dict[str, int] | None = field(default=None, compare=False)
+    settled: dict[str, dict[str, int]] | None = field(
+        default=None, compare=False
+    )
+
+
+def settled_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, int]]:
+    """Aggregate per-algorithm settled counts over many shards.
+
+    Shards without settling diagnostics (scalar pipeline, cache loads)
+    contribute nothing; the result maps algorithm name to the summed
+    per-mechanism counts — the sweep-level "settled-by-prefilter" report
+    the benchmark prints.
+    """
+    summary: dict[str, dict[str, int]] = {}
+    for outcome in outcomes:
+        if not outcome.settled:
+            continue
+        for name, counts in outcome.settled.items():
+            into = summary.setdefault(name, {})
+            for source, count in counts.items():
+                into[source] = into.get(source, 0) + count
+    return summary
 
 
 class AcceptanceSweep:
@@ -188,11 +242,21 @@ class AcceptanceSweep:
     serial :meth:`run` produces.
     """
 
-    def __init__(self, config: SweepConfig, grid: UtilizationGrid | None = None):
+    def __init__(
+        self,
+        config: SweepConfig,
+        grid: UtilizationGrid | None = None,
+        pipeline: str = "batched",
+    ):
         from repro.degradation.service import parse_service_model
 
+        if pipeline not in PIPELINES:
+            raise ValueError(
+                f"unknown pipeline {pipeline!r}; choose from {PIPELINES}"
+            )
         self.config = config
         self.grid = grid or UtilizationGrid()
+        self.pipeline = pipeline
         self._service = parse_service_model(config.service)
         self._generator = MCTaskSetGenerator(
             GeneratorConfig(
@@ -201,22 +265,24 @@ class AcceptanceSweep:
                 deadline_type=config.deadline_type,
             )
         )
+        #: one prefilter bank per algorithm name — a bank memoizes
+        #: test-specific verdicts, so it must never be shared across tests
+        self._banks: dict[str, object] = {}
 
     # -- task-set provisioning -------------------------------------------------
-    def tasksets_for_bucket(
+    def batch_for_bucket(
         self, bucket: float, points: list[GridPoint]
-    ) -> list[TaskSet]:
-        """The deterministic task-set sample for one ``UB`` bucket.
+    ) -> TaskSetBatch:
+        """The deterministic task-set sample for one bucket, as columns.
 
         Generation is independent of the service model (the RNG stream is
         untouched by it), so sweeps differing only in ``service`` evaluate
         their algorithms on the *same* task sets — the degradation figures
-        compare service levels, not sampling noise.  A non-default model is
-        attached to each generated set afterwards.
+        compare service levels, not sampling noise.  A non-default model
+        rides on the batch and is attached to whatever materializes.
         """
         cfg = self.config
-        out: list[TaskSet] = []
-        attach = not self._service.is_full_drop
+        columns = []
         for replicate in range(cfg.samples_per_bucket):
             rng = derive_rng(
                 cfg.label, cfg.m, cfg.deadline_type, cfg.p_high, bucket, replicate
@@ -225,15 +291,25 @@ class AcceptanceSweep:
             # infeasible (e.g. U_HH too concentrated for the task count).
             for _ in range(6):
                 point = points[int(rng.integers(len(points)))]
-                taskset = self._generator.generate(
+                cols = self._generator.generate_columns(
                     rng, point.u_hh, point.u_lh, point.u_ll
                 )
-                if taskset is not None:
-                    if attach:
-                        taskset = taskset.with_service_model(self._service)
-                    out.append(taskset)
+                if cols is not None:
+                    columns.append(cols)
                     break
-        return out
+        service = None if self._service.is_full_drop else self._service
+        return TaskSetBatch(columns, service_model=service)
+
+    def tasksets_for_bucket(
+        self, bucket: float, points: list[GridPoint]
+    ) -> list[TaskSet]:
+        """The bucket sample as materialized task sets (the object view).
+
+        Same draws, same derived RNG streams as :meth:`batch_for_bucket` —
+        this is simply its materialization, kept for per-taskset consumers
+        (benchmarks, examples, the scalar pipeline).
+        """
+        return self.batch_for_bucket(bucket, points).to_tasksets()
 
     # -- sweeping -----------------------------------------------------------------
     def bucket_points(self) -> dict[float, list[GridPoint]]:
@@ -254,6 +330,8 @@ class AcceptanceSweep:
         """Run every algorithm over one bucket's task-set sample (one shard)."""
         cfg = self.config
         validate_algorithms(cfg, algorithms)
+        if self.pipeline == "batched":
+            return self._run_bucket_batched(bucket, points, algorithms)
         tasksets = self.tasksets_for_bucket(bucket, points)
         ratios: dict[str, float] = {}
         if tasksets:
@@ -261,6 +339,55 @@ class AcceptanceSweep:
                 accepted = sum(algorithm.accepts(ts, cfg.m) for ts in tasksets)
                 ratios[algorithm.name] = accepted / len(tasksets)
         return BucketOutcome(bucket=bucket, samples=len(tasksets), ratios=ratios)
+
+    def _run_bucket_batched(
+        self,
+        bucket: float,
+        points: list[GridPoint],
+        algorithms: list[PartitionedAlgorithm],
+    ) -> BucketOutcome:
+        """Columnar shard execution; same numbers as the scalar loop.
+
+        Each algorithm's acceptance count comes from
+        :func:`~repro.core.batch.partition_batch` over one shared batch.
+        The ratio is the identical ``accepted / samples`` division the
+        scalar loop performs, so the two pipelines' shards are equal field
+        for field (the settling diagnostics ride along, excluded from
+        equality-relevant consumers).
+        """
+        from repro.analysis.prefilter import default_prefilter_bank
+        from repro.core.batch import partition_batch
+
+        cfg = self.config
+        batch = self.batch_for_bucket(bucket, points)
+        ratios: dict[str, float] = {}
+        accepted: dict[str, int] = {}
+        settled: dict[str, dict[str, int]] = {}
+        if len(batch):
+            for algorithm in algorithms:
+                # A bank binds to one test instance; rebind on a fresh
+                # instance (e.g. re-fetched algorithms on a reused sweep).
+                bank = self._banks.get(algorithm.name)
+                if bank is None or not bank.serves(algorithm.test):
+                    bank = default_prefilter_bank()
+                    self._banks[algorithm.name] = bank
+                outcome = partition_batch(
+                    batch,
+                    cfg.m,
+                    algorithm.test,
+                    algorithm.strategy,
+                    bank=bank,
+                )
+                accepted[algorithm.name] = outcome.accepted_count
+                ratios[algorithm.name] = outcome.accepted_count / len(batch)
+                settled[algorithm.name] = outcome.settled_counts()
+        return BucketOutcome(
+            bucket=bucket,
+            samples=len(batch),
+            ratios=ratios,
+            accepted=accepted or None,
+            settled=settled or None,
+        )
 
     def run(self, algorithms: list[PartitionedAlgorithm]) -> SweepResult:
         """Full sweep; see class docstring."""

@@ -240,6 +240,7 @@ def _run_plan(
     jobs: int,
     cache,
     progress,
+    pipeline: str = "batched",
 ) -> FigureResult:
     # Imported lazily: repro.runner depends on this module for plans.
     from repro.runner.pool import run_sweep
@@ -247,7 +248,12 @@ def _run_plan(
     result = FigureResult(figure)
     for job in plan:
         sweep = run_sweep(
-            job.config, job.algorithms, jobs=jobs, cache=cache, progress=progress
+            job.config,
+            job.algorithms,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            pipeline=pipeline,
         )
         result.sweeps[job.key] = sweep
         if job.war_key is not None:
@@ -265,10 +271,11 @@ def fig3(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 3: implicit deadlines, EDF-VD algorithms (speed-up bound 8/3)."""
     plan = figure_plan("fig3", samples, m_values=m_values)
-    return _run_plan("fig3", plan, jobs, cache, progress)
+    return _run_plan("fig3", plan, jobs, cache, progress, pipeline)
 
 
 def fig4(
@@ -278,10 +285,11 @@ def fig4(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 4: implicit deadlines, algorithms without a speed-up bound."""
     plan = figure_plan("fig4", samples, m_values=m_values)
-    return _run_plan("fig4", plan, jobs, cache, progress)
+    return _run_plan("fig4", plan, jobs, cache, progress, pipeline)
 
 
 def fig5(
@@ -291,10 +299,11 @@ def fig5(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 5: constrained deadlines, algorithms without a speed-up bound."""
     plan = figure_plan("fig5", samples, m_values=m_values)
-    return _run_plan("fig5", plan, jobs, cache, progress)
+    return _run_plan("fig5", plan, jobs, cache, progress, pipeline)
 
 
 def fig6a(
@@ -305,10 +314,11 @@ def fig6a(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 6a: WAR vs PH, implicit deadlines, EDF-VD algorithms."""
     plan = figure_plan("fig6a", samples, ph_values=ph_values, m_values=m_values)
-    return _run_plan("fig6a", plan, jobs, cache, progress)
+    return _run_plan("fig6a", plan, jobs, cache, progress, pipeline)
 
 
 def fig6b(
@@ -319,10 +329,11 @@ def fig6b(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 6b: WAR vs PH, constrained deadlines, AMC/ECDF vs EY."""
     plan = figure_plan("fig6b", samples, ph_values=ph_values, m_values=m_values)
-    return _run_plan("fig6b", plan, jobs, cache, progress)
+    return _run_plan("fig6b", plan, jobs, cache, progress, pipeline)
 
 
 def fig7a(
@@ -333,10 +344,11 @@ def fig7a(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 7a (extension): acceptance/WAR vs imprecise budget ratio rho."""
     plan = figure_plan("fig7a", samples, deg_values=deg_values, m_values=m_values)
-    return _run_plan("fig7a", plan, jobs, cache, progress)
+    return _run_plan("fig7a", plan, jobs, cache, progress, pipeline)
 
 
 def fig7b(
@@ -347,10 +359,11 @@ def fig7b(
     jobs: int = 1,
     cache=None,
     progress=None,
+    pipeline: str = "batched",
 ) -> FigureResult:
     """Figure 7b (extension): acceptance/WAR vs elastic period stretch lambda."""
     plan = figure_plan("fig7b", samples, deg_values=deg_values, m_values=m_values)
-    return _run_plan("fig7b", plan, jobs, cache, progress)
+    return _run_plan("fig7b", plan, jobs, cache, progress, pipeline)
 
 
 FIGURES = {

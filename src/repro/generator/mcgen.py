@@ -18,11 +18,12 @@ Mixed-Criticality Scheduling Algorithms using a Fair Taskset Generator"
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.model import Criticality, MCTask, TaskSet
+from repro.model import TaskColumns, TaskSet, TaskSetBatch
 from repro.generator.periods import log_uniform_periods
 from repro.generator.uunifast import randfixedsum, uunifast_discard
 
@@ -120,6 +121,30 @@ class MCTaskSetGenerator:
 
         Returns None when the targets are infeasible under the config (e.g.
         ``m * U_HH > n_max * u_max``) after ``max_attempts`` resamples.
+        Target validation lives in :meth:`generate_columns`, the shared
+        implementation.
+        """
+        columns = self.generate_columns(rng, u_hh, u_lh, u_ll)
+        if columns is None:
+            return None
+        return columns.materialize()
+
+    def generate_columns(
+        self,
+        rng: np.random.Generator,
+        u_hh: float,
+        u_lh: float,
+        u_ll: float,
+    ) -> TaskColumns | None:
+        """Numeric columns of one task set — :meth:`generate` without the
+        ``MCTask`` objects.
+
+        Consumes the RNG stream exactly as :meth:`generate` does (the two
+        share this implementation), so ``generate_columns(rng, ...)``
+        followed by :meth:`TaskColumns.materialize` *is* ``generate`` —
+        while batched consumers that settle a set from its columns alone
+        (exact prefilters, the utilization-ledger replay) skip object
+        construction entirely.
         """
         if not 0 <= u_lh <= u_hh:
             raise ValueError(f"need 0 <= U_LH <= U_HH, got {u_lh} > {u_hh}")
@@ -130,12 +155,38 @@ class MCTaskSetGenerator:
             if targets is None:
                 self.stats["retries"] += 1
                 continue
-            taskset = self._realize(rng, targets)
-            if taskset is not None:
+            columns = self._realize(rng, targets)
+            if columns is not None:
                 self.stats["generated"] += 1
-                return taskset
+                return columns
             self.stats["retries"] += 1
         return None
+
+    def generate_batch(
+        self,
+        rngs: Iterable[np.random.Generator],
+        u_hh: float,
+        u_lh: float,
+        u_ll: float,
+        service_model=None,
+    ) -> TaskSetBatch:
+        """One columnar batch for the same targets, one derived RNG per set.
+
+        Each stream is consumed exactly as one scalar :meth:`generate` call
+        would consume it, so the batch holds — column for column — the task
+        sets ``[self.generate(rng, u_hh, u_lh, u_ll) for rng in rngs]``
+        would produce (failures are skipped, as in :meth:`generate_many`).
+        Cross-set draws are *not* fused into one stream on purpose: the
+        sweep harness derives an independent generator per replicate so
+        shards stay order-independent and resumable, and the batch contract
+        has to preserve that derivation to keep sweep results bit-identical.
+        """
+        columns = []
+        for rng in rngs:
+            cols = self.generate_columns(rng, u_hh, u_lh, u_ll)
+            if cols is not None:
+                columns.append(cols)
+        return TaskSetBatch(columns, service_model=service_model)
 
     def generate_many(
         self,
@@ -223,7 +274,16 @@ class MCTaskSetGenerator:
         return u_high * min(scale, 1.0)
 
     # -- realization -----------------------------------------------------------
-    def _realize(self, rng: np.random.Generator, t: _Targets) -> TaskSet | None:
+    def _realize(self, rng: np.random.Generator, t: _Targets) -> TaskColumns | None:
+        """Columnar realization of one structure draw (HC rows first).
+
+        The execution-requirement columns are elementwise transcriptions of
+        the historical per-task loop (IEEE multiply/``ceil``/``floor`` are
+        correctly-rounded primitives, so array and scalar evaluation agree
+        bit-for-bit), and the only RNG consumers — the utilization vectors,
+        the period draw and the constrained-deadline draws — run in the
+        loop's exact stream order.
+        """
         cfg = self.config
         u_hi = self._draw_vector(rng, t.n_high, t.hh, cfg.u_max)
         if u_hi is None:
@@ -237,38 +297,40 @@ class MCTaskSetGenerator:
 
         n = t.n_high + t.n_low
         periods = log_uniform_periods(rng, n, cfg.t_min, cfg.t_max)
-        tasks = []
-        for i in range(t.n_high):
-            period = int(periods[i])
-            c_lo = max(1, int(np.ceil(u_lo_high[i] * period)))
-            c_hi = max(c_lo, int(np.ceil(u_hi[i] * period)))
-            deadline = self._draw_deadline(rng, c_hi, period)
-            tasks.append(
-                MCTask(
-                    period=period,
-                    criticality=Criticality.HC,
-                    wcet_lo=c_lo,
-                    wcet_hi=c_hi,
-                    deadline=deadline,
+        periods_h = periods[: t.n_high]
+        periods_l = periods[t.n_high :]
+        c_lo_h = np.maximum(1, np.ceil(u_lo_high * periods_h)).astype(np.int64)
+        c_hi_h = np.maximum(c_lo_h, np.ceil(u_hi * periods_h).astype(np.int64))
+        c_lo_l = np.maximum(1, np.ceil(u_lo_low * periods_l)).astype(np.int64)
+
+        wcet_lo = np.concatenate([c_lo_h, c_lo_l])
+        wcet_hi = np.concatenate([c_hi_h, c_lo_l])
+        if cfg.deadline_type == "implicit":
+            deadline = periods.copy()
+        else:
+            # The bound of each task's deadline draw is its HI budget, so
+            # the draws stay scalar, in task order — the historical stream.
+            deadline = np.empty(n, dtype=np.int64)
+            for i in range(n):
+                deadline[i] = self._draw_deadline(
+                    rng, int(wcet_hi[i]), int(periods[i])
                 )
-            )
+
         factor = cfg.degradation_factor
-        for i in range(t.n_low):
-            period = int(periods[t.n_high + i])
-            c_lo = max(1, int(np.ceil(u_lo_low[i] * period)))
-            deadline = self._draw_deadline(rng, c_lo, period)
-            degraded = None if factor is None else int(np.floor(factor * c_lo))
-            tasks.append(
-                MCTask(
-                    period=period,
-                    criticality=Criticality.LC,
-                    wcet_lo=c_lo,
-                    wcet_hi=c_lo,
-                    deadline=deadline,
-                    wcet_degraded=degraded,
-                )
-            )
-        return TaskSet(tasks)
+        wcet_degraded = np.full(n, -1, dtype=np.int64)
+        if factor is not None:
+            wcet_degraded[t.n_high :] = np.floor(factor * c_lo_l).astype(np.int64)
+        is_high = np.zeros(n, dtype=bool)
+        is_high[: t.n_high] = True
+        return TaskColumns(
+            period=periods.astype(np.int64, copy=False),
+            wcet_lo=wcet_lo,
+            wcet_hi=wcet_hi,
+            deadline=deadline,
+            is_high=is_high,
+            wcet_degraded=wcet_degraded,
+            period_degraded=np.full(n, -1, dtype=np.int64),
+        )
 
     def _draw_deadline(
         self, rng: np.random.Generator, wcet_hi: int, period: int

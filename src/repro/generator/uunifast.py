@@ -34,10 +34,18 @@ def uunifast(rng: np.random.Generator, n: int, total: float) -> np.ndarray:
         raise ValueError(f"total must be non-negative, got {total}")
     if n == 1:
         return np.asarray([total])
+    # One batched draw replaces n-1 scalar generator calls.  Array filling
+    # consumes the underlying bit stream in exactly the per-call order, so
+    # the draws — and everything derived from them — are bit-identical to
+    # the historical loop (asserted by the generator exactness tests).  The
+    # arithmetic stays scalar: numpy's elementwise ``power`` is not
+    # guaranteed ulp-identical to C ``pow``, and the fold below feeds each
+    # step's rounding into the next.
+    draws = rng.random(n - 1)
     values = np.empty(n)
     remaining = total
     for i in range(n - 1):
-        nxt = remaining * rng.random() ** (1.0 / (n - 1 - i))
+        nxt = remaining * float(draws[i]) ** (1.0 / (n - 1 - i))
         values[i] = remaining - nxt
         remaining = nxt
     values[n - 1] = remaining

@@ -7,6 +7,7 @@ convention), minimum release separation ``T`` and relative deadline ``D``
 (``D == T`` implicit-deadline, ``D <= T`` constrained-deadline).
 """
 
+from repro.model.batch import TaskColumns, TaskSetBatch
 from repro.model.criticality import Criticality
 from repro.model.task import MCTask
 from repro.model.taskset import TaskSet, UtilizationSummary
@@ -19,7 +20,9 @@ from repro.model.validation import (
 __all__ = [
     "Criticality",
     "MCTask",
+    "TaskColumns",
     "TaskSet",
+    "TaskSetBatch",
     "UtilizationSummary",
     "TaskModelError",
     "validate_task",

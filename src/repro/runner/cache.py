@@ -102,6 +102,10 @@ class ShardCache:
             "samples": outcome.samples,
             "ratios": outcome.ratios,
         }
+        if outcome.accepted is not None:
+            # Columnar acceptance counts (batched pipeline): diagnostic
+            # payload, optional on load so pre-batch shards keep hitting.
+            payload["accepted"] = outcome.accepted
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         os.replace(tmp, path)
@@ -132,8 +136,17 @@ class ShardCache:
         for name, value in ratios.items():
             if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
                 raise ValueError(f"ratio {name}={value!r} out of range")
+        accepted = data.get("accepted")
+        if accepted is not None:
+            if not isinstance(accepted, dict) or set(accepted) != set(ratios):
+                raise ValueError("accepted counts cover the wrong algorithms")
+            for name, count in accepted.items():
+                if not isinstance(count, int) or not 0 <= count <= samples:
+                    raise ValueError(f"accepted {name}={count!r} out of range")
+            accepted = {name: int(count) for name, count in accepted.items()}
         return BucketOutcome(
             bucket=bucket,
             samples=samples,
             ratios={name: float(value) for name, value in ratios.items()},
+            accepted=accepted,
         )

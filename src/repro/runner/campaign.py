@@ -169,12 +169,15 @@ def run_campaign(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     progress: ProgressReporter | None = None,
+    pipeline: str = "batched",
 ) -> CampaignReport:
     """Execute ``spec``, writing one ``<key>.json`` per figure job.
 
     The shard cache defaults to ``<out_dir>/cache`` so simply re-running
     the same command resumes/finishes an interrupted campaign; point
     ``cache_dir`` at shared storage to pool shards across campaigns.
+    ``pipeline`` selects the shard execution path (columnar ``"batched"``
+    by default); outputs and cache shards are identical either way.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -187,6 +190,7 @@ def run_campaign(
             jobs=jobs,
             cache=cache,
             progress=progress,
+            pipeline=pipeline,
             **job.run_kwargs(),
         )
         path = out / f"{job.key}.json"

@@ -96,9 +96,15 @@ def run_sweep(
     jobs: int = 1,
     cache: "ShardCache | None" = None,
     progress: "ProgressReporter | None" = None,
+    pipeline: str = "batched",
 ) -> SweepResult:
-    """One full acceptance sweep through the shard runner."""
+    """One full acceptance sweep through the shard runner.
+
+    ``pipeline`` picks the shard execution path (columnar ``"batched"`` or
+    per-taskset ``"scalar"``); results and cache identities are the same
+    either way — see :mod:`repro.experiments.acceptance`.
+    """
     names = list(algorithm_names)
-    units = decompose_sweep(config, names)
+    units = decompose_sweep(config, names, pipeline=pipeline)
     outcomes = execute_units(units, jobs=jobs, cache=cache, progress=progress)
     return merge_outcomes(config, names, outcomes)

@@ -31,25 +31,37 @@ class WorkUnit:
 
     Carries only plain picklable data (the frozen config, the bucket
     center and algorithm *names*); the worker re-derives grid points and
-    algorithm instances locally, so units stay tiny on the wire.
+    algorithm instances locally, so units stay tiny on the wire — the
+    task sets themselves only ever exist inside the worker, as a columnar
+    :class:`~repro.model.batch.TaskSetBatch` under the default pipeline.
+
+    ``pipeline`` selects the execution path (see
+    :data:`repro.experiments.acceptance.PIPELINES`).  It is deliberately
+    *excluded* from the shard-cache identity: both pipelines produce the
+    identical outcome, so shards are interchangeable between them.
     """
 
     config: SweepConfig
     bucket: float
     algorithms: tuple[str, ...]
+    pipeline: str = "batched"
 
 
 def decompose_sweep(
-    config: SweepConfig, algorithm_names: Sequence[str]
+    config: SweepConfig,
+    algorithm_names: Sequence[str],
+    pipeline: str = "batched",
 ) -> list[WorkUnit]:
     """Split a sweep into independent per-bucket work units, ascending."""
     names = tuple(algorithm_names)
     # Fail fast on typos and on algorithm/deadline-type pairings the tests
     # cannot analyze, before any worker spawns.
     validate_algorithms(config, [get_algorithm(name) for name in names])
-    sweep = AcceptanceSweep(config)
+    sweep = AcceptanceSweep(config, pipeline=pipeline)
     return [
-        WorkUnit(config=config, bucket=bucket, algorithms=names)
+        WorkUnit(
+            config=config, bucket=bucket, algorithms=names, pipeline=pipeline
+        )
         for bucket in sweep.bucket_points()
     ]
 
@@ -60,7 +72,7 @@ def run_unit(unit: WorkUnit) -> BucketOutcome:
     Deterministic in the unit alone — the pool relies on this both for
     order-independent merging and for content-addressed caching.
     """
-    sweep = AcceptanceSweep(unit.config)
+    sweep = AcceptanceSweep(unit.config, pipeline=unit.pipeline)
     points = sweep.bucket_points().get(unit.bucket)
     if points is None:
         raise ValueError(

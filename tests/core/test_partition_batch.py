@@ -1,0 +1,174 @@
+"""Differential suite: partition_batch == scalar partition, set for set.
+
+The batched path may settle a set via prefilters or the utilization-ledger
+replay, or fall through to the incremental per-taskset path — whatever the
+mechanism, ``accepted[i]`` must equal ``partition(...).success``.  The fast
+tier covers one configuration per test family; the ``slow`` tier sweeps the
+full strategies × tests × service-models cross product the issue calls for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import get_test
+from repro.core import (
+    UnsupportedTasksetError,
+    get_strategy,
+    partition,
+    partition_batch,
+)
+from repro.generator import GeneratorConfig, MCTaskSetGenerator
+from repro.model import MCTask, TaskSet, TaskSetBatch
+from repro.util.rng import derive_rng
+
+STRATEGIES = ("ca-udp", "cu-udp", "ca-f-f", "ca-nosort-f-f")
+EXTRA_STRATEGIES = ("eca-wu-f", "ca-wu-f", "wfd", "bfd")
+
+
+def generated_batch(m, deadline_type, service, count, label):
+    gen = MCTaskSetGenerator(GeneratorConfig(m=m, deadline_type=deadline_type))
+    columns = []
+    for k in range(count):
+        u_hh = 0.2 + (k % 8) * 0.1
+        u_lh = min(u_hh, 0.1 + (k % 4) * 0.1)
+        u_ll = 0.1 + (k % 6) * 0.12
+        cols = gen.generate_columns(
+            derive_rng(label, deadline_type, k), u_hh, u_lh, u_ll
+        )
+        if cols is not None:
+            columns.append(cols)
+    return TaskSetBatch(columns, service_model=service)
+
+
+def assert_batch_matches_scalar(batch_args, m, test_name, strategy_name):
+    deadline_type, service, count, label = batch_args
+    batch = generated_batch(m, deadline_type, service, count, label)
+    test = get_test(test_name)
+    strategy = get_strategy(strategy_name)
+    outcome = partition_batch(batch, m, test, strategy)
+    assert len(outcome.accepted) == len(batch)
+
+    fresh = generated_batch(m, deadline_type, service, count, label)
+    scalar_test = get_test(test_name)
+    for i in range(len(fresh)):
+        expected = partition(fresh.taskset(i), m, scalar_test, strategy).success
+        assert outcome.accepted[i] == expected, (
+            f"set {i} diverged ({outcome.settled[i]}) for "
+            f"{strategy_name}+{test_name} on {deadline_type}/{service}"
+        )
+    return outcome
+
+
+class TestFastDifferential:
+    @pytest.mark.parametrize("strategy_name", STRATEGIES)
+    def test_edf_vd_ledger_complete(self, strategy_name):
+        outcome = assert_batch_matches_scalar(
+            ("implicit", None, 25, "pb-edfvd"), 2, "edf-vd", strategy_name
+        )
+        # The EDF-VD screen is complete: nothing may fall through.
+        assert "full" not in outcome.settled_counts()
+
+    @pytest.mark.parametrize("test_name", ["ey", "ecdf"])
+    def test_demand_tests_partial_ledger(self, test_name):
+        outcome = assert_batch_matches_scalar(
+            ("implicit", None, 20, "pb-demand"), 2, test_name, "cu-udp"
+        )
+        counts = outcome.settled_counts()
+        assert counts.get("ledger", 0) > 0  # the decided region settles sets
+
+    def test_amc_falls_through(self):
+        outcome = assert_batch_matches_scalar(
+            ("constrained", None, 15, "pb-amc"), 2, "amc-max", "cu-udp"
+        )
+        assert "ledger" not in outcome.settled_counts()
+
+    def test_degraded_service_differential(self):
+        assert_batch_matches_scalar(
+            ("implicit", "imprecise:0.5", 15, "pb-deg"), 2, "edf-vd", "cu-udp-res"
+        )
+        assert_batch_matches_scalar(
+            ("implicit", "elastic:2.0", 12, "pb-deg2"), 2, "ey", "cu-udp"
+        )
+
+
+class TestEdgesAndGates:
+    def test_empty_batch(self):
+        outcome = partition_batch(
+            TaskSetBatch([]), 2, get_test("edf-vd"), get_strategy("cu-udp")
+        )
+        assert outcome.accepted == []
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError, match="m must be positive"):
+            partition_batch(
+                TaskSetBatch([]), 0, get_test("edf-vd"), get_strategy("cu-udp")
+            )
+
+    def test_unsupported_deadline_shape_raises(self):
+        constrained = TaskSet(
+            [MCTask(period=10, criticality="HC", wcet_lo=2, wcet_hi=4, deadline=8)]
+        )
+        batch = TaskSetBatch.from_tasksets([constrained])
+        with pytest.raises(UnsupportedTasksetError):
+            partition_batch(batch, 2, get_test("edf-vd"), get_strategy("cu-udp"))
+
+    def test_unsupported_service_model_raises(self):
+        ts = TaskSet(
+            [MCTask(period=10, criticality="LC", wcet_lo=2, wcet_hi=2)],
+            service_model="imprecise:0.5",
+        )
+        batch = TaskSetBatch.from_tasksets([ts])
+        with pytest.raises(UnsupportedTasksetError):
+            partition_batch(batch, 2, get_test("amc-max"), get_strategy("cu-udp"))
+
+    def test_replay_metadata_matches_callables(self):
+        """Spec-driven orders must equal the callable order rules."""
+        from repro.core.batch import _order_indices
+
+        batch = generated_batch(2, "implicit", None, 10, "pb-order")
+        for strategy_name in STRATEGIES + EXTRA_STRATEGIES:
+            strategy = get_strategy(strategy_name)
+            assert strategy.replayable
+            for i in range(len(batch)):
+                ts = batch.taskset(i)
+                want = [t.task_id for t in strategy.order(ts)]
+                u_lo = [t.utilization_lo for t in ts]
+                u_hi = [t.utilization_hi for t in ts]
+                is_high = [t.is_high for t in ts]
+                u_own = [t.utilization_at_own_level for t in ts]
+                ties = [t.task_id for t in ts]
+                got = _order_indices(
+                    strategy.order_spec, len(ts), is_high, u_own, u_lo, ties
+                )
+                assert [ts[j].task_id for j in got] == want
+
+
+@pytest.mark.slow
+class TestFullCrossProduct:
+    """The issue's full differential: strategies × tests × service models."""
+
+    @pytest.mark.parametrize("strategy_name", STRATEGIES + EXTRA_STRATEGIES)
+    @pytest.mark.parametrize(
+        "deadline_type,test_name,service",
+        [
+            ("implicit", "edf-vd", None),
+            ("implicit", "ey", None),
+            ("implicit", "ecdf", None),
+            ("implicit", "amc-max", None),
+            ("constrained", "ey", None),
+            ("constrained", "ecdf", None),
+            ("constrained", "amc-max", None),
+            ("implicit", "edf-vd", "imprecise:0.5"),
+            ("implicit", "edf-vd", "elastic:2.0"),
+            ("implicit", "ey", "imprecise:0.5"),
+            ("implicit", "ecdf", "elastic:2.0"),
+        ],
+    )
+    def test_differential(self, strategy_name, deadline_type, test_name, service):
+        assert_batch_matches_scalar(
+            (deadline_type, service, 30, f"pbx-{test_name}"),
+            2,
+            test_name,
+            strategy_name,
+        )

@@ -1,0 +1,138 @@
+"""TaskSetBatch: columnar layout, lazy materialization, derived columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import MCTask, TaskColumns, TaskSet, TaskSetBatch
+
+
+def make_taskset(seed: int = 0) -> TaskSet:
+    return TaskSet(
+        [
+            MCTask(period=10 + seed, criticality="HC", wcet_lo=2, wcet_hi=4),
+            MCTask(period=20, criticality="LC", wcet_lo=5, wcet_hi=5),
+            MCTask(
+                period=50,
+                criticality="LC",
+                wcet_lo=10,
+                wcet_hi=10,
+                wcet_degraded=4,
+            ),
+        ]
+    )
+
+
+class TestLayout:
+    def test_offsets_and_sizes(self):
+        batch = TaskSetBatch.from_tasksets([make_taskset(0), make_taskset(1)])
+        assert len(batch) == 2
+        assert batch.n_tasks == 6
+        assert batch.offsets.tolist() == [0, 3, 6]
+        assert batch.set_slice(1) == slice(3, 6)
+
+    def test_empty_batch(self):
+        batch = TaskSetBatch([])
+        assert len(batch) == 0
+        assert batch.n_tasks == 0
+        assert batch.to_tasksets() == []
+        assert batch.sum_per_set(batch.u_lo).tolist() == []
+
+    def test_columns_match_task_fields(self):
+        ts = make_taskset()
+        batch = TaskSetBatch.from_tasksets([ts])
+        for i, task in enumerate(ts):
+            assert batch.period[i] == task.period
+            assert batch.wcet_lo[i] == task.wcet_lo
+            assert batch.wcet_hi[i] == task.wcet_hi
+            assert batch.deadline[i] == task.deadline
+            assert bool(batch.is_high[i]) == task.is_high
+        assert batch.wcet_degraded.tolist() == [-1, -1, 4]
+
+    def test_empty_set_rows(self):
+        batch = TaskSetBatch.from_tasksets([TaskSet(), make_taskset()])
+        assert len(batch) == 2
+        assert batch.set_slice(0) == slice(0, 0)
+        sums = batch.sum_per_set(batch.u_lo)
+        assert sums[0] == 0.0
+        assert sums[1] > 0
+
+
+class TestDerivedColumns:
+    def test_utilization_columns_bit_identical(self):
+        ts = make_taskset()
+        batch = TaskSetBatch.from_tasksets([ts])
+        for i, task in enumerate(ts):
+            assert float(batch.u_lo[i]) == task.utilization_lo
+            assert float(batch.u_hi[i]) == task.utilization_hi
+
+    def test_u_res_zero_under_drop(self):
+        batch = TaskSetBatch.from_tasksets([make_taskset()])
+        assert not batch.u_res.any()
+
+    def test_u_res_matches_service_model(self):
+        ts = make_taskset().with_service_model("imprecise:0.5")
+        batch = TaskSetBatch.from_tasksets([ts])
+        service = ts.effective_service
+        expected = [
+            0.0 if t.is_high else service.residual_utilization(t) for t in ts
+        ]
+        assert batch.u_res.tolist() == expected
+
+
+
+class TestMaterialization:
+    def test_from_tasksets_round_trip_preserves_identity(self):
+        sets = [make_taskset(0), make_taskset(1)]
+        batch = TaskSetBatch.from_tasksets(sets)
+        assert batch.to_tasksets() == sets
+        assert batch.taskset(0) is sets[0]
+
+    def test_columns_materialize_equivalent_fields(self):
+        ts = make_taskset()
+        rebuilt = TaskColumns.from_taskset(ts).materialize()
+        assert [t.to_dict() | {"name": ""} for t in rebuilt] == [
+            t.to_dict() | {"name": ""} for t in ts
+        ]
+
+    def test_materialization_is_lazy_and_cached(self):
+        cols = TaskColumns.from_taskset(make_taskset())
+        batch = TaskSetBatch([cols, cols])
+        assert batch._sets == {}
+        first = batch.taskset(1)
+        assert batch.taskset(1) is first
+        assert 0 not in batch._sets
+
+    def test_service_model_propagates(self):
+        cols = TaskColumns.from_taskset(make_taskset())
+        batch = TaskSetBatch([cols], service_model="imprecise:0.5")
+        ts = batch.taskset(0)
+        assert ts.service_model is batch.service_model
+        assert ts.residual_utilization > 0
+
+    def test_mixed_service_batches_rejected(self):
+        plain = make_taskset()
+        degraded = make_taskset().with_service_model("elastic:2.0")
+        with pytest.raises(ValueError, match="mixed service"):
+            TaskSetBatch.from_tasksets([plain, degraded])
+
+    def test_full_drop_normalizes_like_taskset(self):
+        dropped = make_taskset().with_service_model("full-drop")
+        batch = TaskSetBatch.from_tasksets([make_taskset(), dropped])
+        assert len(batch) == 2
+
+
+class TestSums:
+    def test_sum_per_set_close_to_python_sum(self):
+        sets = [make_taskset(s) for s in range(5)]
+        batch = TaskSetBatch.from_tasksets(sets)
+        sums = batch.sum_per_set(batch.u_lo)
+        for i, ts in enumerate(sets):
+            assert sums[i] == pytest.approx(ts.utilization.u_lo, abs=1e-12)
+
+    def test_sum_per_set_hc_mask(self):
+        sets = [make_taskset()]
+        batch = TaskSetBatch.from_tasksets(sets)
+        hi = batch.sum_per_set(np.where(batch.is_high, batch.u_hi, 0.0))
+        assert hi[0] == pytest.approx(sets[0].utilization.u_hh, abs=1e-12)

@@ -1,0 +1,45 @@
+"""The committed BENCH_batch.json must stay parseable and well-formed.
+
+The batch-pipeline benchmark writes its trajectory to the repo root so the
+perf history travels with the code; this check keeps a malformed or
+hand-mangled artifact from landing silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_batch.json"
+
+REQUIRED_ROW_KEYS = {
+    "tasksets",
+    "algorithms",
+    "scalar_s",
+    "batched_s",
+    "speedup",
+    "tasksets_per_sec_scalar",
+    "tasksets_per_sec_batched",
+    "settled_fractions",
+}
+
+
+def test_bench_batch_json_parses():
+    data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    assert data["samples_per_bucket"] > 0
+    assert set(data["pipelines"]) == {"scalar", "batched"}
+    figures = data["figures"]
+    assert "fig3" in figures and "fig4" in figures
+    for fig, rows in figures.items():
+        assert rows, f"{fig} has no measured rows"
+        for m, row in rows.items():
+            assert int(m) > 0
+            missing = REQUIRED_ROW_KEYS - set(row)
+            assert not missing, f"{fig} m={m} missing {sorted(missing)}"
+            assert row["tasksets"] > 0
+            assert row["scalar_s"] > 0 and row["batched_s"] > 0
+            assert row["speedup"] > 0
+            fractions = row["settled_fractions"]
+            assert all(0 <= v <= 1 for v in fractions.values())
+            assert sum(fractions.values()) <= 1.0 + 1e-6
