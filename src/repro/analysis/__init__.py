@@ -35,6 +35,12 @@ from repro.analysis.context import (
     DemandContext,
     EDFVDContext,
 )
+from repro.analysis.dbf import (
+    demand_kernel,
+    kernel_counters,
+    reset_kernel_counters,
+    set_demand_kernel,
+)
 from repro.analysis.ecdf import ECDFTest
 from repro.analysis.edf import EDFTest
 from repro.analysis.edf_vd import EDFVDTest, edfvd_scaling_factor
@@ -67,7 +73,11 @@ __all__ = [
     "PrefilterReport",
     "SchedulabilityTest",
     "default_prefilter_bank",
+    "demand_kernel",
     "edfvd_scaling_factor",
     "get_test",
+    "kernel_counters",
     "registered_tests",
+    "reset_kernel_counters",
+    "set_demand_kernel",
 ]

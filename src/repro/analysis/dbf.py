@@ -55,6 +55,28 @@ Check points
     ``d_i + k T_i + C_i^L``), so evaluating at every breakpoint plus the
     horizon is exact.  The horizon is the classical bound: any violation
     satisfies ``l < sum(u_i * max(0, T_i - d_i)) / (1 - U)``.
+
+Violation kernels
+    The predicate both checks decide — ``exists l: dbf(l) > l`` — has two
+    exact deciders here.  The **forward kernel** enumerates every
+    breakpoint up to the horizon in chunks (the historical path, kept as
+    the differential oracle).  The **QPA kernel** (after Zhang & Burns'
+    Quick Processor-demand Analysis) runs the backward fixed-point
+    iteration ``l <- dbf(l)`` / ``l <- max breakpoint < l`` from the
+    horizon down; because every demand function here is a monotone
+    non-decreasing step/ramp function whose violations occur at
+    breakpoints, the iteration decides the predicate exactly and — when it
+    stops on a violation — stops on the **largest** violating length
+    (every iterate bounds all violations from above).  The earliest
+    violation, which the tuning descent consumes, is then recovered by the
+    forward scan below the witness.  Monotonicity holds for the *refined*
+    HI demand too: the trigger cut of task ``j`` grows only inside task
+    ``j``'s own carry-over ramp, where its dbf term grows at the same unit
+    rate, so ``dbf - cut_j`` is non-decreasing for every ``j`` and the
+    refined demand is their max.  :func:`set_demand_kernel` switches the
+    default; an O(n·k) Fisher–Baruah-style upper-bound screen
+    (:func:`approx_accepts`) settles clear passes before either kernel
+    runs.
 """
 
 from __future__ import annotations
@@ -65,13 +87,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.model import MCTask, TaskSet
+from repro.util.env import approx_k_from_env, scan_chunk_from_env
 
 __all__ = [
     "DEFAULT_HORIZON_CAP",
     "DemandScenario",
     "HorizonExceeded",
     "LoShrinkProbe",
+    "approx_accepts",
+    "demand_kernel",
+    "kernel_counters",
+    "lo_feasible_exact",
     "overload_marker",
+    "qpa_violation_search",
+    "reset_kernel_counters",
+    "set_demand_kernel",
     "sporadic_dbf",
     "hi_mode_dbf",
     "lc_hi_mode_dbf",
@@ -181,11 +211,23 @@ def overload_marker(tasks) -> int:
     return min((t.deadline for t in tasks), default=0)
 
 
-#: Breakpoint chunk size for the early-exit violation scan.  During
+#: Breakpoint chunk size for the early-exit violation scan (the
+#: ``REPRO_DBF_SCAN_CHUNK`` knob, see :mod:`repro.util.env`).  During
 #: virtual-deadline tuning, violations typically sit near the front of the
 #: horizon; scanning in chunks avoids evaluating demand over the full
-#: breakpoint set just to find them.
-_SCAN_CHUNK = 4096
+#: breakpoint set just to find them.  Both knobs are consumed **once at
+#: import** — the kernel's inner loops must not re-read the environment —
+#: so later changes to the variables have no effect on a running process.
+_SCAN_CHUNK = scan_chunk_from_env()
+
+#: Exact-step depth of the dbf upper-bound accept screens (the
+#: ``REPRO_DBF_APPROX_K`` knob).  Sound for every positive value.
+_APPROX_K = approx_k_from_env()
+
+#: QPA iteration budget per search before falling back to the forward scan
+#: (a cost valve, not a correctness bound: an aborted search simply hands
+#: the decision to the oracle kernel).
+_QPA_ITER_CAP = 256
 
 
 def _first_violation(points: np.ndarray, demand_fn) -> int | None:
@@ -198,6 +240,257 @@ def _first_violation(points: np.ndarray, demand_fn) -> int | None:
     return None
 
 
+# -- kernel selection and diagnostics ---------------------------------------
+
+_KERNELS = ("qpa", "forward")
+_KERNEL = "qpa"
+
+_COUNTERS = {
+    "qpa-accept": 0,  # checks settled by a QPA pass
+    "approx-accept": 0,  # checks settled by the upper-bound screen
+    "approx-reject": 0,  # probes settled by a point-violation reject screen
+    "qpa-iterations": 0,  # total backward fixed-point iterations
+    "qpa-runs": 0,  # number of QPA searches started
+}
+
+
+def demand_kernel() -> str:
+    """The active violation-search kernel (``"qpa"`` or ``"forward"``)."""
+    return _KERNEL
+
+
+def set_demand_kernel(name: str) -> str:
+    """Select the violation-search kernel; returns the previous one.
+
+    ``"qpa"`` (the default) runs the screens + backward fixed-point search;
+    ``"forward"`` restores the pure chunked breakpoint enumeration — the
+    differential oracle and the baseline the kernel benchmark measures
+    against.  Both kernels decide the violation predicate exactly, so every
+    verdict, violation point and figure output is identical under either.
+    """
+    global _KERNEL
+    if name not in _KERNELS:
+        raise ValueError(f"unknown demand kernel {name!r}; choose from {_KERNELS}")
+    previous = _KERNEL
+    _KERNEL = name
+    return previous
+
+
+def kernel_counters() -> dict[str, int]:
+    """Snapshot of the process-local kernel diagnostics counters."""
+    return dict(_COUNTERS)
+
+
+def reset_kernel_counters() -> None:
+    """Zero the kernel diagnostics counters (process-local)."""
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+def _lo_point_demand(tasks, length: int) -> int:
+    """Scalar LO-mode demand at one length (the QPA evaluation function)."""
+    total = 0
+    for t in tasks:
+        x = length - t.deadline
+        if x >= 0:
+            total += (x // t.period + 1) * t.wcet
+    return total
+
+
+def _hi_point_demand(
+    tasks,
+    length: int,
+    refine: bool,
+    n_trigger: int | None = None,
+) -> int:
+    """Scalar transcription of :meth:`DemandScenario._hi_demand` for one
+    point (same integer terms, same inactive-task-zero refinement min,
+    same HC-only trigger restriction)."""
+    if n_trigger is None:
+        n_trigger = len(tasks)
+    total = 0
+    min_cut = None
+    for index, mode_task in enumerate(tasks):
+        x = length - mode_task.deadline
+        if x >= 0:
+            residue = x % mode_task.period
+            total += (x // mode_task.period + 1) * mode_task.wcet - min(
+                mode_task.wcet, max(0, mode_task.wcet_lo - residue)
+            )
+            cut = min(mode_task.wcet_lo, residue)
+        else:
+            cut = 0
+        if index < n_trigger and (min_cut is None or cut < min_cut):
+            min_cut = cut
+    if refine and min_cut is not None:
+        total -= min_cut
+    return total
+
+
+def _prev_breakpoint(tasks, length: int, ramps: bool) -> int | None:
+    """Largest demand breakpoint strictly below ``length``, or None.
+
+    Breakpoints are the dbf jump points ``d_i + k T_i`` and — with
+    ``ramps`` — the carry-over ramp ends ``d_i + k T_i + min(C_i^L, T_i)``,
+    exactly the families :meth:`DemandScenario._breakpoints` enumerates.
+    """
+    best = -1
+    for t in tasks:
+        d = t.deadline
+        if d < length:
+            candidate = d + ((length - 1 - d) // t.period) * t.period
+            if candidate > best:
+                best = candidate
+        if ramps and t.wcet_lo > 0:
+            end = d + min(t.wcet_lo, t.period)
+            if end < length:
+                candidate = end + ((length - 1 - end) // t.period) * t.period
+                if candidate > best:
+                    best = candidate
+    return best if best >= 0 else None
+
+
+def _next_breakpoint(tasks, length: int, ramps: bool) -> int | None:
+    """Smallest demand breakpoint at or above ``length``, or None.
+
+    The forward twin of :func:`_prev_breakpoint`, enumerating the same
+    jump/ramp-end families — used by the scalar micro-walk that checks the
+    first few breakpoints past a violation front before any vectorized
+    window is built.
+    """
+    best = None
+    for t in tasks:
+        d = t.deadline
+        if d >= length:
+            candidate = d
+        else:
+            candidate = d - ((d - length) // t.period) * t.period
+        if best is None or candidate < best:
+            best = candidate
+        if ramps and t.wcet_lo > 0:
+            end = d + min(t.wcet_lo, t.period)
+            if end < length:
+                end = end - ((end - length) // t.period) * t.period
+            if end < best:
+                best = end
+    return best
+
+
+def qpa_violation_search(
+    tasks,
+    horizon: int,
+    demand_at,
+    ramps: bool,
+    max_iters: int | None = None,
+) -> tuple[str, int | None, int]:
+    """Backward fixed-point search for ``exists l <= horizon: demand(l) > l``.
+
+    Returns ``(status, witness, iterations)`` with status ``"pass"`` (no
+    violation in ``[0, horizon]``), ``"violation"`` (``witness`` is the
+    **largest** violating length — every iterate bounds all violations
+    from above, so stopping on one proves the region above it clean), or
+    ``"abort"`` (iteration budget exhausted; the caller must fall back to
+    the forward oracle).
+
+    Exactness requires ``demand_at`` to be monotone non-decreasing with
+    all violations at breakpoints — true for the LO demand, the unrefined
+    HI demand and the refined HI demand (see module docstring).  The
+    iteration: start at the horizon; while ``demand(l) <= l``, step to
+    ``demand(l)`` when that descends, else to the largest breakpoint below
+    ``l``; stop with a pass when demand drops to the smallest breakpoint
+    (below which demand is 0) or no breakpoint remains.
+    """
+    if not tasks or horizon < 0:
+        return ("pass", None, 0)
+    floor = min(t.deadline for t in tasks)
+    limit = _QPA_ITER_CAP if max_iters is None else max_iters
+    t = horizon
+    iterations = 0
+    _COUNTERS["qpa-runs"] += 1
+    while t >= 0:
+        iterations += 1
+        if iterations > limit:
+            _COUNTERS["qpa-iterations"] += iterations
+            return ("abort", None, iterations)
+        demand = demand_at(t)
+        if demand > t:
+            _COUNTERS["qpa-iterations"] += iterations
+            return ("violation", t, iterations)
+        if demand <= floor:
+            break
+        if demand < t:
+            t = demand
+        else:
+            below = _prev_breakpoint(tasks, t, ramps)
+            if below is None:
+                break
+            t = below
+    _COUNTERS["qpa-iterations"] += iterations
+    return ("pass", None, iterations)
+
+
+def _ub_screen_points(tasks, horizon: int, k: int, ramps: bool) -> np.ndarray:
+    """Candidate maxima of the k-step upper bound in ``[0, horizon]``.
+
+    Every jump and kink of the bound: the first ``k+1`` step points of
+    each task (the ``k+1``-th is the blend point where the staircase meets
+    its utilization-slope chord), the ramp ends inside the exact region,
+    and the horizon.  Between consecutive candidates the bound is linear,
+    so checking the bound at these points bounds it everywhere.
+    """
+    families = [np.asarray([horizon], dtype=np.int64)]
+    for t in tasks:
+        if t.deadline > horizon:
+            continue
+        jumps = np.arange(
+            t.deadline,
+            min(t.deadline + k * t.period, horizon) + 1,
+            t.period,
+            dtype=np.int64,
+        )
+        families.append(jumps)
+        if ramps and t.wcet_lo > 0:
+            ends = jumps + min(t.wcet_lo, t.period)
+            families.append(ends[ends <= horizon])
+    return np.concatenate(families)
+
+
+def approx_accepts(tasks, horizon: int, hi: bool, k: int | None = None) -> bool:
+    """Sound accept screen: True proves ``demand(l) <= l`` on ``[0, horizon]``.
+
+    Fisher–Baruah-style k-step bound: each task contributes its exact
+    staircase (HI mode: carry-over reduction included) below its blend
+    point ``d + k T`` and the integer-ceiling chord
+    ``ceil(C (l - d + T) / T)`` — the line through the staircase corners,
+    an upper bound of the (unrefined) demand — above it.  The total bound
+    is piecewise linear between the O(n·k) candidate points, so demand
+    fits everywhere iff the bound fits at each of them.  A False return
+    proves nothing (the screen is an accept filter, not a decider); the
+    unrefined bound also covers the refined HI demand, which only
+    subtracts.
+    """
+    if not tasks or horizon < 0:
+        return True  # empty region or no demand: nothing can violate
+    if k is None:
+        k = _APPROX_K
+    points = _ub_screen_points(tasks, horizon, k, ramps=hi)
+    deadline = np.array([t.deadline for t in tasks], dtype=np.int64)[:, None]
+    period = np.array([t.period for t in tasks], dtype=np.int64)[:, None]
+    wcet = np.array([t.wcet for t in tasks], dtype=np.int64)[:, None]
+    x = points[None, :] - deadline
+    active = x >= 0
+    xa = np.where(active, x, 0)
+    stair = (xa // period + 1) * wcet
+    if hi:
+        wcet_lo = np.array([t.wcet_lo for t in tasks], dtype=np.int64)[:, None]
+        stair = stair - np.minimum(wcet, np.maximum(0, wcet_lo - xa % period))
+    # Integer ceiling of the chord C (x + T) / T — exact, no float noise.
+    chord = -((-wcet * (xa + period)) // period)
+    exact = points[None, :] < deadline + k * period
+    total = np.where(active, np.where(exact, stair, chord), 0).sum(axis=0)
+    return bool((total <= points).all())
+
+
 @dataclass(frozen=True)
 class _ModeTask:
     """Effective sporadic parameters of one task in one mode."""
@@ -206,6 +499,56 @@ class _ModeTask:
     deadline: int
     period: int
     wcet_lo: int  # carry-over reduction budget (HI mode only)
+
+
+def _lo_violation_scan(tasks: list["_ModeTask"], horizon: int) -> int | None:
+    """Earliest LO-mode violation in ``(0, horizon]``, kernel-dispatched.
+
+    Both kernels decide the same predicate over the same breakpoint
+    multiset; the QPA path additionally settles clear passes with the
+    upper-bound screen, and hands a found witness back to the forward scan
+    for the earliest-point localization the callers' contract requires.
+    """
+    if _KERNEL == "qpa":
+        if approx_accepts(tasks, horizon, hi=False):
+            _COUNTERS["approx-accept"] += 1
+            return None
+        status, witness, _ = qpa_violation_search(
+            tasks, horizon, lambda t: _lo_point_demand(tasks, t), ramps=False
+        )
+        if status == "pass":
+            _COUNTERS["qpa-accept"] += 1
+            return None
+        if status == "violation":
+            # The earliest violation is at most the witness (the largest
+            # violating breakpoint), so the localizing forward scan only
+            # needs the breakpoints up to there — usually a small prefix.
+            horizon = witness
+        # An aborted search hands the full question to the forward oracle.
+    points = DemandScenario._breakpoints(tasks, horizon, ramps=False)
+    return _first_violation(
+        points, lambda chunk: DemandScenario._lo_demand(tasks, chunk)
+    )
+
+
+def lo_feasible_exact(tasks: list["_ModeTask"], cap: int) -> bool:
+    """Exact LO-mode feasibility of ``tasks`` under the horizon-cap gates.
+
+    The boolean twin of :meth:`DemandScenario.lo_violation` on an already
+    built mode-task list — same float-folded horizon bound, same
+    conservative False on overload or cap overrun — used by callers that
+    mirror ``engine.lo_feasible`` without materializing a scenario (the
+    batch probe screens).
+    """
+    try:
+        horizon = DemandScenario._horizon(tasks, cap)
+    except HorizonExceeded:
+        return False
+    if horizon is None:
+        return False  # utilization above 1: guaranteed violation
+    if horizon == 0:
+        return True
+    return _lo_violation_scan(tasks, horizon) is None
 
 
 class DemandScenario:
@@ -373,10 +716,7 @@ class DemandScenario:
             return overload_marker(self._lo)
         if horizon == 0:
             return None
-        points = self._breakpoints(self._lo, horizon, ramps=False)
-        return _first_violation(
-            points, lambda chunk: self._lo_demand(self._lo, chunk)
-        )
+        return _lo_violation_scan(self._lo, horizon)
 
     def hi_violation(self, refine: bool = False) -> int | None:
         """Smallest interval length where HI-mode demand exceeds supply.
@@ -401,8 +741,24 @@ class DemandScenario:
         horizon = max(horizon, max(t.deadline for t in tasks))
         if horizon > self.horizon_cap:
             raise HorizonExceeded(f"bound {horizon} exceeds cap {self.horizon_cap}")
-        points = self._breakpoints(tasks, horizon, ramps=True)
         n_trigger = len(self._hi)
+        if _KERNEL == "qpa":
+            if approx_accepts(tasks, horizon, hi=True):
+                _COUNTERS["approx-accept"] += 1
+                return None
+            status, witness, _ = qpa_violation_search(
+                tasks,
+                horizon,
+                lambda t: _hi_point_demand(tasks, t, refine, n_trigger),
+                ramps=True,
+            )
+            if status == "pass":
+                _COUNTERS["qpa-accept"] += 1
+                return None
+            if status == "violation":
+                # Earliest violation <= witness: scan only that prefix.
+                horizon = witness
+        points = self._breakpoints(tasks, horizon, ramps=True)
         return _first_violation(
             points,
             lambda chunk: self._hi_demand(tasks, chunk, refine, n_trigger),

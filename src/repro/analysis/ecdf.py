@@ -81,10 +81,11 @@ class ECDFTest(SchedulabilityTest):
         return DemandContext(self, self.stages, self.horizon_cap, service=service)
 
     def batch_screen(self):
-        """Partial probe screen — the context's utilization pre-screen."""
+        """Partial probe screen — the context's utilization pre-screen plus
+        the demand-level fast-path screens for this test's tuning chain."""
         from repro.analysis.prefilter import DemandPreScreen
 
-        return DemandPreScreen()
+        return DemandPreScreen(stages=self.stages, horizon_cap=self.horizon_cap)
 
 
 register_test("ecdf", ECDFTest)

@@ -54,13 +54,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.model import MCTask, TaskSet
+from repro.analysis import dbf as _dbf
 from repro.analysis.dbf import (
     DemandScenario,
     HorizonExceeded,
+    LoShrinkProbe,
     _ModeTask,
+    _hi_point_demand,
+    approx_accepts,
     hi_mode_dbf,
     lc_hi_mode_entries,
     overload_marker,
+    qpa_violation_search,
 )
 
 __all__ = [
@@ -74,6 +79,11 @@ __all__ = [
 #: least one unit of demand progress at the current violation; the cap only
 #: guards against pathological thrashing across violation points).
 _MAX_ITERATIONS = 400
+
+#: Breakpoints the scalar peek checks past the violation front before the
+#: vectorized window / QPA machinery takes over (pure cost knob: every
+#: kernel decides the same predicate).
+_MICRO_WALK = 2
 
 
 @dataclass(frozen=True)
@@ -121,8 +131,55 @@ def _shrink_to_clear(
     When the task alone cannot clear the deficit, this still returns the
     *minimal* shrink realizing its best contribution — over-shrinking would
     needlessly inflate LO-mode demand and strand later adjustments.
-    Relies on HI-demand being non-increasing in the shrink amount.
+    Relies on HI-demand being non-increasing in the shrink amount; the
+    minimal shrink is recovered in closed form by inverting the task's
+    single-task HI staircase (:func:`_invert_shrink`), which the
+    differential suite checks against the historical bisection
+    (:func:`_shrink_to_clear_bisect`) point for point.
     """
+    max_shrink = vd_now - task.wcet_lo
+    target = min(deficit, _hi_gain(task, vd_now, max_shrink, length))
+    if target <= 0:
+        return max_shrink
+    return _invert_shrink(task, vd_now, length, target)
+
+
+def _invert_shrink(task: MCTask, vd_now: int, length: int, target: int) -> int:
+    """Minimal ``s >= 1`` with ``_hi_gain(task, vd_now, s, length) >= target``.
+
+    ``gain(s) = H(x) - H(x - s)`` for the task's single-task HI staircase
+    ``H(y) = (y//T + 1) C_H - max(0, C_L - y mod T)`` (0 for ``y < 0``) and
+    ``x = length - (D - vd_now)``.  ``H`` is non-decreasing, so the minimal
+    shrink is ``x - y*`` for ``y*`` the largest ``y <= x - 1`` with
+    ``H(y) <= H(x) - target`` — found by inverting one staircase window.
+    The caller guarantees a reaching shrink exists within
+    ``vd_now - C_L``.
+    """
+    period, wcet_lo, wcet_hi = task.period, task.wcet_lo, task.wcet_hi
+    x = length - (task.deadline - vd_now)
+    if x >= 0:
+        d_now = (x // period + 1) * wcet_hi - max(0, wcet_lo - x % period)
+    else:
+        d_now = 0
+    level = d_now - target
+    # Largest y >= 0 with H(y) <= level; -1 when no such y (H(-1) = 0).
+    jobs = (level + wcet_lo) // wcet_hi - 1
+    if jobs < 0:
+        y_star = -1
+    else:
+        need = (jobs + 1) * wcet_hi - level
+        if need <= 0:
+            y_star = jobs * period + period - 1
+        else:
+            y_star = jobs * period + wcet_lo - need
+    return max(1, x - y_star)
+
+
+def _shrink_to_clear_bisect(
+    task: MCTask, vd_now: int, length: int, deficit: int
+) -> int:
+    """The historical bisection — the differential oracle for
+    :func:`_shrink_to_clear` (identical results, O(log D) gain probes)."""
     max_shrink = vd_now - task.wcet_lo
     target = min(deficit, _hi_gain(task, vd_now, max_shrink, length))
     if target <= 0:
@@ -163,9 +220,11 @@ def _window_points(
             offset = t.deadline + min(t.wcet_lo, t.period)
             k0 = 0 if offset >= lo else -((offset - lo) // t.period)
             first = offset + k0 * t.period
-            if first <= min(top, horizon):
+            # ``top`` is already ``min(hi - 1, horizon)``, so no further
+            # horizon clamp is needed for the ramp family either.
+            if first <= top:
                 families.append(
-                    np.arange(first, min(top, horizon) + 1, t.period, dtype=np.int64)
+                    np.arange(first, top + 1, t.period, dtype=np.int64)
                 )
     if lo <= horizon < hi:
         families.append(np.asarray([horizon], dtype=np.int64))
@@ -211,36 +270,6 @@ def _hi_demand_2d(
         if n_trigger is not None:
             cut = cut[:n_trigger]
         total -= cut.min(axis=0)
-    return total
-
-
-def _hi_point_demand(
-    tasks: list[_ModeTask],
-    length: int,
-    refine: bool,
-    n_trigger: int | None = None,
-) -> int:
-    """Scalar transcription of :meth:`DemandScenario._hi_demand` for one
-    point (same integer terms, same inactive-task-zero refinement min,
-    same HC-only trigger restriction)."""
-    if n_trigger is None:
-        n_trigger = len(tasks)
-    total = 0
-    min_cut = None
-    for index, mode_task in enumerate(tasks):
-        x = length - mode_task.deadline
-        if x >= 0:
-            residue = x % mode_task.period
-            total += (x // mode_task.period + 1) * mode_task.wcet - min(
-                mode_task.wcet, max(0, mode_task.wcet_lo - residue)
-            )
-            cut = min(mode_task.wcet_lo, residue)
-        else:
-            cut = 0
-        if index < n_trigger and (min_cut is None or cut < min_cut):
-            min_cut = cut
-    if refine and min_cut is not None:
-        total -= min_cut
     return total
 
 
@@ -339,6 +368,28 @@ class DemandEngine:
         self._lc_sig = tuple(task_id for task_id, _ in entries)
         #: per-candidate cache of the uniform-scaling search outcome
         self._uniform: dict[bool, tuple] = {}
+        #: QPA warm-start anchor, learned from *unrefined* runs at the
+        #: *full-deadline* assignment — the componentwise maximum of every
+        #: assignment, whose unrefined HI demand therefore dominates all
+        #: others pointwise.  Such a run proves "no unrefined violation
+        #: above t" (t = the largest violation, or 0 on a pass); every
+        #: dominated assignment inherits that certificate, and since the
+        #: trigger refinement only subtracts demand *of the same
+        #: assignment*, the certificate covers refined queries too.
+        #: Refined runs never anchor: the trigger cut's residues move with
+        #: the residual deadlines, so refined demand is not monotone under
+        #: deadline domination.  None = not yet learned (learned lazily by
+        #: a dedicated unrefined run, see :meth:`_ensure_anchor`); -1 =
+        #: unavailable (the full-deadline horizon overruns the cap or the
+        #: search aborted).
+        self._qpa_anchor: int | None = None
+        self._full_sig_high = tuple(
+            (t.task_id, t.deadline) for t in self._high
+        )
+        if self._lc_sig:
+            self._full_sig_high = self._full_sig_high + (
+                ("lc",) + self._lc_sig,
+            )
 
     def _hi_tasks(self, vd: dict[int, int]) -> list[_ModeTask]:
         """HI-mode :class:`_ModeTask` list for ``vd`` — field-identical to
@@ -571,6 +622,31 @@ class DemandEngine:
                 return (None, None)
             return (violation, scenario.hi_demand_at(violation, refine=refine))
         sig = self._sig_high(vd)
+        memo = self._memo
+        key = ("hi", sig, refine)
+        hit = memo.get(key)
+        if hit is not None:
+            if hit[0] == "raise":
+                raise hit[1]
+            return hit[1]
+        # Upgrade a boolean-level entry (left by hi_feasible): a pass is
+        # already the full answer; a known violation needs only the
+        # earliest-point localization the forward scan provides.
+        banked = memo.get(("hib", sig, refine))
+        if banked is not None:
+            if banked:
+                value: tuple[int | None, int | None] = (None, None)
+            else:
+                tasks = self._hi_tasks(vd)
+                value = _windowed_hi_check(
+                    tasks,
+                    self._hi_meta(sig, tasks),
+                    refine,
+                    not_before,
+                    len(self._high),
+                )
+            memo[key] = ("value", value)
+            return value
 
         def compute() -> tuple[int | None, int | None]:
             # No local HC task means no local mode switch: degraded LC
@@ -579,15 +655,157 @@ class DemandEngine:
             if not self._high:
                 return (None, None)
             tasks = self._hi_tasks(vd)
-            return _windowed_hi_check(
-                tasks,
-                self._hi_meta(sig, tasks),
-                refine,
-                not_before,
-                len(self._high),
-            )
+            meta = self._hi_meta(sig, tasks)
+            if _dbf._KERNEL != "qpa":
+                return _windowed_hi_check(
+                    tasks, meta, refine, not_before, len(self._high)
+                )
+            return self._qpa_hi_check(sig, tasks, meta, refine, not_before)
 
-        return self._cached(("hi", sig, refine), compute)
+        return self._cached(key, compute)
+
+    def _qpa_hi_check(
+        self,
+        sig: tuple,
+        tasks: list[_ModeTask],
+        meta: tuple,
+        refine: bool,
+        not_before: int,
+    ) -> tuple[int | None, int | None]:
+        """QPA-kerneled :func:`_windowed_hi_check` — identical results.
+
+        Three layers, ordered so each call site pays its cheapest decider:
+
+        1. one forward window from ``not_before`` — the tuning descent's
+           violation front moves slowly, so most *violations* are caught
+           here at the historical cost;
+        2. the O(n·k) upper-bound screen, then the QPA backward search
+           (warm-started from the full-deadline anchor) — most *passes*
+           settle here without ever materializing the breakpoint set;
+        3. a QPA witness proves a violation exists but sits at its
+           *largest* length, so the earliest one — the value the descent
+           consumes — is recovered by resuming the forward windowed scan
+           (whose tiling covers the same check-point multiset).
+        """
+        n_trigger = len(self._high)
+        columns, state, density = meta
+        if state[0] == "raise":
+            raise state[1]
+        horizon = state[1]
+        if horizon is None:
+            violation = overload_marker(tasks)
+            return (
+                violation,
+                _hi_point_demand(tasks, violation, refine, n_trigger),
+            )
+        # Scalar peek: ~30% of descent violations sit on the very next
+        # breakpoint past the front — check a couple of points scalar-ly
+        # before building any window.
+        resume = not_before
+        for _ in range(_MICRO_WALK):
+            point = _dbf._next_breakpoint(tasks, resume, ramps=True)
+            if point is None or point > horizon:
+                demand = _hi_point_demand(tasks, horizon, refine, n_trigger)
+                if demand > horizon:
+                    return (horizon, demand)
+                return (None, None)  # every remaining check point covered
+            demand = _hi_point_demand(tasks, point, refine, n_trigger)
+            if demand > point:
+                return (point, demand)
+            resume = point + 1
+        # One vectorized window from there: the bulk of the remaining
+        # violations land within the historical first window.
+        width = max(int(64 / density), 1)
+        points = _window_points(tasks, horizon, resume, resume + width, ramps=True)
+        if len(points):
+            demand = _hi_demand_2d(columns, points, refine, n_trigger)
+            mask = demand > points
+            if mask.any():
+                where = int(np.argmax(mask))
+                return (int(points[where]), int(demand[where]))
+        resume = resume + width
+        if resume > horizon:
+            return (None, None)  # the window covered the whole region
+        status, _ = self._qpa_decide(sig, tasks, horizon, refine)
+        if status == "pass":
+            return (None, None)
+        # Violation witness or aborted search: resume the forward windowed
+        # scan where the micro-walk left off — its tiling covers the same
+        # check-point multiset, so the earliest violation (which a witness
+        # only bounds from above) comes out identical.
+        return _windowed_hi_check(tasks, meta, refine, resume, n_trigger)
+
+    def _qpa_decide(
+        self, sig: tuple, tasks: list[_ModeTask], horizon: int, refine: bool
+    ) -> tuple[str, int | None]:
+        """Anchor-warmed QPA decision of the HI predicate on ``[0, horizon]``.
+
+        Returns ``("pass", None)``, ``("violation", witness)`` or
+        ``("abort", None)`` — abort means the caller must fall back to the
+        forward oracle.  Cold searches give the upper-bound screen one
+        vectorized sweep first; warm searches start at the full-deadline
+        anchor, which bounds every assignment's violations from above.
+        """
+        self._ensure_anchor()
+        start = horizon
+        if self._qpa_anchor is not None and 0 <= self._qpa_anchor < start:
+            start = self._qpa_anchor
+        elif approx_accepts(tasks, horizon, hi=True):
+            _dbf._COUNTERS["approx-accept"] += 1
+            return ("pass", None)
+        n_trigger = len(self._high)
+        status, witness, _ = qpa_violation_search(
+            tasks,
+            start,
+            lambda t: _hi_point_demand(tasks, t, refine, n_trigger),
+            ramps=True,
+        )
+        if status == "pass":
+            _dbf._COUNTERS["qpa-accept"] += 1
+        return (status, witness)
+
+    def _ensure_anchor(self) -> None:
+        """Learn the unrefined full-deadline QPA anchor once per engine.
+
+        One cold unrefined search at the dominating assignment buys a warm
+        start for every later check of *any* assignment (see the anchor
+        attribute docstring) — in particular the O(log D) feasible probes
+        of the uniform-scaling bisection, which otherwise each pay a cold
+        descent from the horizon.  The witness QPA stops on is the largest
+        *breakpoint* violation, but a dominated assignment's breakpoints
+        differ, so the anchor must bound the largest violating *integer*:
+        on the piece right of the witness ``w`` the demand is flat (a
+        rising piece would violate at its right breakpoint, contradicting
+        ``w``'s maximality), so violations extend at most to
+        ``demand(w) - 1`` — the sound anchor.  A pass anchors at 0 (no
+        violations anywhere).  Unavailable (-1) when the full-deadline
+        horizon overruns the cap or the search aborts.
+        """
+        if self._qpa_anchor is not None:
+            return
+        self._qpa_anchor = -1
+        vd_full = {t.task_id: t.deadline for t in self._high}
+        tasks = self._hi_tasks(vd_full)
+        meta = self._hi_meta(self._full_sig_high, tasks)
+        state = meta[1]
+        if state[0] == "raise" or state[1] is None:
+            return
+        horizon = state[1]
+        n_trigger = len(self._high)
+        if approx_accepts(tasks, horizon, hi=True):
+            self._qpa_anchor = 0
+            return
+        status, witness, _ = qpa_violation_search(
+            tasks,
+            horizon,
+            lambda t: _hi_point_demand(tasks, t, False, n_trigger),
+            ramps=True,
+        )
+        if status == "pass":
+            self._qpa_anchor = 0
+        elif status == "violation":
+            demand = _hi_point_demand(tasks, witness, False, n_trigger)
+            self._qpa_anchor = demand - 1
 
     def hi_violation(
         self, vd: dict[int, int], refine: bool, not_before: int = 0
@@ -597,7 +815,7 @@ class DemandEngine:
 
     def hi_feasible(self, vd: dict[int, int], refine: bool) -> bool:
         """``hi_violation(vd, refine) is None``, with cross-refinement
-        inference.
+        inference and witness-level evaluation.
 
         The trigger refinement only ever *subtracts* demand, so a refined
         violation implies an unrefined one, and an unrefined pass implies a
@@ -606,20 +824,69 @@ class DemandEngine:
         direction, the answer is returned without any dbf work — the ECDF
         fallback chain re-runs its uniform-scaling search with the
         refinement toggled, and this settles most of those re-evaluations.
-        Raises :class:`HorizonExceeded` exactly like :meth:`hi_violation`.
+
+        Boolean consumers (the uniform-scaling bisection) never need the
+        *earliest* violation, only whether one exists — exactly what the
+        QPA search decides on its own.  A fresh evaluation therefore stops
+        at the witness level and banks a boolean ``("hib", ...)`` memo
+        entry; :meth:`hi_check` upgrades it to the earliest-point form on
+        demand.  Raises :class:`HorizonExceeded` exactly like
+        :meth:`hi_violation`.
         """
         memo = self._memo
-        if memo is not None:
-            key = ("hi", self._sig_high(vd), refine)
-            hit = memo.get(key)
-            if hit is None:
-                other = memo.get(("hi", key[1], not refine))
-                if other is not None and other[0] == "value":
-                    if refine and other[1][0] is None:
-                        return True  # unrefined pass => refined pass
-                    if not refine and other[1][0] is not None:
-                        return False  # refined violation => unrefined one
-        return self.hi_violation(vd, refine) is None
+        if memo is None:
+            return self.hi_violation(vd, refine) is None
+        sig = self._sig_high(vd)
+        key = ("hi", sig, refine)
+        hit = memo.get(key)
+        if hit is not None:
+            if hit[0] == "raise":
+                raise hit[1]
+            return hit[1][0] is None
+        banked = memo.get(("hib", sig, refine))
+        if banked is not None:
+            return banked
+        other = memo.get(("hi", sig, not refine))
+        if other is not None and other[0] == "value":
+            if refine and other[1][0] is None:
+                return True  # unrefined pass => refined pass
+            if not refine and other[1][0] is not None:
+                return False  # refined violation => unrefined one
+        obool = memo.get(("hib", sig, not refine))
+        if obool is not None:
+            if refine and obool:
+                return True
+            if not refine and not obool:
+                return False
+        if _dbf._KERNEL != "qpa":
+            return self.hi_violation(vd, refine) is None
+        if not self._high:
+            memo[("hib", sig, refine)] = True
+            return True
+        tasks = self._hi_tasks(vd)
+        try:
+            meta = self._hi_meta(sig, tasks)
+            columns, state, density = meta
+            if state[0] == "raise":
+                raise state[1]
+        except HorizonExceeded as exc:
+            memo[key] = ("raise", exc)
+            raise
+        horizon = state[1]
+        if horizon is None:
+            # Overload: a violation is guaranteed (the marker contract).
+            memo[("hib", sig, refine)] = False
+            return False
+        status, _ = self._qpa_decide(sig, tasks, horizon, refine)
+        if status == "abort":
+            # Hand the whole question to the forward oracle and keep its
+            # earliest-form answer.
+            value = _windowed_hi_check(tasks, meta, refine, 0, len(self._high))
+            memo[key] = ("value", value)
+            return value[0] is None
+        feasible = status == "pass"
+        memo[("hib", sig, refine)] = feasible
+        return feasible
 
     def hi_demand_at(self, vd: dict[int, int], length: int, refine: bool) -> int:
         """Total HI-mode demand at one interval length."""
@@ -662,20 +929,13 @@ class DemandEngine:
             return _shrink_to_clear(task, vd_now, length, deficit)
 
         def compute() -> int:
-            # _shrink_to_clear with the gain evaluations routed through the
-            # inlined hi_gain above — same searches, same results.
+            # _shrink_to_clear with the closed-form staircase inversion —
+            # same minimal shrink the historical bisection found.
             max_shrink = vd_now - task.wcet_lo
             target = min(deficit, self.hi_gain(task, vd_now, max_shrink, length))
             if target <= 0:
                 return max_shrink
-            lo, hi = 1, max_shrink
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if self.hi_gain(task, vd_now, mid, length) >= target:
-                    hi = mid
-                else:
-                    lo = mid + 1
-            return lo
+            return _invert_shrink(task, vd_now, length, target)
 
         return self._cached(("stc", task.task_id, vd_now, length, deficit), compute)
 
@@ -686,6 +946,132 @@ class DemandEngine:
             ("lsp", task.task_id, self._sig_others(vd, task.task_id)),
             lambda: self.scenario(vd).lo_shrink_probe(task),
         )
+
+    def _lo_others_entry(
+        self, vd: dict[int, int], task: MCTask, sig_o: tuple
+    ) -> list:
+        """The cached per-``(task, others)`` LO scaffolding.
+
+        ``[others mode-task tuple, worst-case horizon (None = the probe
+        would raise or mark always-infeasible), others' density, smallest
+        screen-accepted deadline, screen-call count]`` — shared by the
+        accept screens and the fast probe construction so the descent's
+        repeated picks of one task build it once per surrounding
+        assignment.
+        """
+        key = ("lofp", task.task_id, sig_o)
+        prepared = self._memo.get(key)
+        if prepared is None:
+            others = []
+            density = 0.0
+            for t in self.taskset:
+                if t.task_id == task.task_id:
+                    continue
+                deadline = vd.get(t.task_id, t.deadline)
+                others.append(_ModeTask(t.wcet_lo, deadline, t.period, t.wcet_lo))
+                density += t.wcet_lo / min(deadline, t.period)
+            worst = others + [
+                _ModeTask(task.wcet_lo, task.wcet_lo, task.period, task.wcet_lo)
+            ]
+            try:
+                horizon = DemandScenario._horizon(worst, self.horizon_cap)
+            except HorizonExceeded:
+                horizon = None  # decline exactly where the probe would raise
+            prepared = [tuple(others), horizon, density, None, 0]
+            self._memo[key] = prepared
+        return prepared
+
+    def _lo_probe_fast(
+        self, vd: dict[int, int], task: MCTask, sig_o: tuple
+    ) -> LoShrinkProbe:
+        """Field-identical :class:`LoShrinkProbe` from cached scaffolding.
+
+        Skips the :class:`DemandScenario` construction the ``("lsp", ...)``
+        path pays: the cached others list and worst-case horizon are the
+        very values the probe's ``__init__`` derives (same fold order, same
+        formulas), so the replica's verdict methods behave identically.
+        When the scaffolding marks the horizon unavailable, the replica is
+        returned always-infeasible *without* entering the ``("lsp")`` memo
+        — the real constructor would have raised there, and the V* caller
+        treats both outcomes as "no feasible shrink".
+        """
+        memo = self._memo
+        key = ("lsp", task.task_id, sig_o)
+        hit = memo.get(key)
+        if hit is not None:
+            if hit[0] == "raise":
+                raise hit[1]
+            return hit[1]
+        entry = self._lo_others_entry(vd, task, sig_o)
+        others, horizon = entry[0], entry[1]
+        probe = LoShrinkProbe.__new__(LoShrinkProbe)
+        probe._task = task
+        probe._infeasible_always = horizon is None
+        probe._horizon = horizon or 0
+        if probe._infeasible_always or probe._horizon == 0:
+            probe._points_o = np.empty(0, dtype=np.int64)
+            probe._slack_o = np.empty(0, dtype=np.int64)
+            if probe._infeasible_always:
+                return probe  # conflates raise/overload: same caller outcome
+        else:
+            points = DemandScenario._breakpoints(
+                list(others), probe._horizon, ramps=False
+            )
+            demand = DemandScenario._lo_demand(list(others), points)
+            probe._points_o = points
+            probe._slack_o = points - demand
+        memo[key] = ("value", probe)
+        return probe
+
+    def _lo_fast_feasible(
+        self, vd: dict[int, int], task: MCTask, v: int, sig_o: tuple
+    ) -> bool:
+        """Layered LO accept screens for ``task`` at deadline ``v``.
+
+        True proves ``LoShrinkProbe.feasible(v)`` — the verdict the V*
+        search inverts — so callers may skip the probe entirely.  Layers,
+        cheapest first: the memoized smallest already-accepted deadline
+        (verdicts are monotone in ``v``), the O(1) density condition
+        ``sum C_i / D_i <= 1 - 1e-9`` (each dbf is bounded by its density
+        line through the step corners; the margin absorbs float folding),
+        and the O(n·k) dbf upper-bound screen.  All are gated behind the
+        probe's conservative worst-case horizon checks — recomputed with
+        the identical float folds — so a screen accept implies the probe
+        accepts.  False proves nothing (accept-only screens).  The
+        ``("lofp", ...)`` memo entry caches the mode-task list, the
+        worst-case horizon and the others' density across the descent's
+        repeated picks of the same task.
+        """
+        prepared = self._lo_others_entry(vd, task, sig_o)
+        others, horizon, density, accepted_v = prepared[:4]
+        if horizon is None:
+            return False
+        if accepted_v is not None and v >= accepted_v:
+            # Memoized monotone hit — not a fresh screen settle, so the
+            # approx-accept diagnostics counter stays untouched.
+            return True
+        if horizon == 0:
+            ok = True  # implicit-deadline region: the probe accepts too
+        elif density + task.wcet_lo / min(v, task.period) <= 1.0 - 1e-9:
+            ok = True
+        else:
+            # The descent re-picks the same task with ever-smaller
+            # deadlines; after a couple of full screen evaluations it is
+            # cheaper to let the exact V* search run once and serve every
+            # later request from its memo entry (a pure cost policy — the
+            # V* path returns the identical shrink).
+            prepared[4] += 1
+            if prepared[4] > 2:
+                return False
+            candidate = list(others)
+            candidate.append(
+                _ModeTask(task.wcet_lo, v, task.period, task.wcet_lo)
+            )
+            ok = approx_accepts(candidate, horizon, hi=False)
+        if ok:
+            _dbf._COUNTERS["approx-accept"] += 1
+            prepared[3] = v if accepted_v is None else min(accepted_v, v)
+        return ok
 
     def max_lo_feasible_shrink(
         self, vd: dict[int, int], task: MCTask, desired: int
@@ -722,6 +1108,24 @@ class DemandEngine:
                     hi = mid - 1
             return lo
 
+        # Warm path: most descent iterations ask for a shrink that is
+        # plainly LO-feasible.  Prove it cheaply — an O(1) density accept,
+        # then the O(n·k) upper-bound screen, both gated behind the
+        # probe's conservative worst-case horizon checks so a screen
+        # accept implies the probe accepts — and skip the LoShrinkProbe
+        # construction and the V* search.  Screen verdicts are monotone in
+        # the probed deadline, so the smallest accepted deadline is cached
+        # per surrounding assignment and repeated picks cost one lookup.
+        sig_o = self._sig_others(vd, task.task_id)
+        if _dbf._KERNEL == "qpa":
+            target = base - desired
+            if (
+                target >= task.wcet_lo
+                and self._memo.get(("vmin", task.task_id, sig_o)) is None
+                and self._lo_fast_feasible(vd, task, target, sig_o)
+            ):
+                return desired
+
         def compute() -> int | None:
             """Smallest LO-feasible virtual deadline; None when even the
             task's full deadline is infeasible under the probe's verdicts.
@@ -736,7 +1140,7 @@ class DemandEngine:
             same minimum, far fewer probe evaluations.
             """
             try:
-                probe = self.lo_shrink_probe(vd, task)
+                probe = self._lo_probe_fast(vd, task, sig_o)
             except HorizonExceeded:
                 return None
             points_o, slack_o = probe._points_o, probe._slack_o
@@ -766,7 +1170,7 @@ class DemandEngine:
                     lo = mid + 1
             return lo
 
-        key = ("vmin", task.task_id, self._sig_others(vd, task.task_id))
+        key = ("vmin", task.task_id, sig_o)
         v_min = self._cached(key, compute)
         if v_min is None:
             return 0
@@ -801,7 +1205,7 @@ def tune_virtual_deadlines(
     if policy not in ("steepest", "ratio"):
         raise ValueError(f"unknown tuning policy {policy!r}")
     if engine is None:
-        engine = DemandEngine(taskset, horizon_cap)
+        engine = _default_engine(taskset, horizon_cap)
 
     high_tasks = list(taskset.high_tasks)
     vd = {t.task_id: t.deadline for t in high_tasks}
@@ -873,6 +1277,8 @@ def run_tuning_stages(
     """
     if not stages:
         raise ValueError("at least one tuning stage is required")
+    if engine is None:
+        engine = _default_engine(taskset, horizon_cap)
     outcome: TuningOutcome | None = None
     for policy, refine in stages:
         outcome = tune_virtual_deadlines(
@@ -881,6 +1287,22 @@ def run_tuning_stages(
         if outcome.schedulable:
             break
     return outcome
+
+
+def _default_engine(taskset: TaskSet, horizon_cap: int) -> DemandEngine:
+    """The engine a caller gets when it passes none.
+
+    Under the QPA kernel the engine carries a private per-run memo so the
+    whole kernel machinery (warm anchors, witness-level checks, screen
+    caches) serves the from-scratch path too — memoization only
+    deduplicates pure queries, so outcomes are identical either way (the
+    property the memo/no-memo differential tests assert).  Under the
+    forward oracle kernel the engine stays memo-free, preserving the
+    historical from-scratch cost profile the benchmarks baseline against.
+    """
+    if _dbf._KERNEL == "qpa":
+        return DemandEngine(taskset, horizon_cap, memo={})
+    return DemandEngine(taskset, horizon_cap)
 
 
 def _scaled_deadlines(high_tasks: list[MCTask], x: float) -> dict[int, int]:
@@ -923,7 +1345,43 @@ def _uniform_scaling_search_impl(
     refine: bool,
     engine: DemandEngine,
 ) -> TuningOutcome | None:
-    """The bisection behind :func:`_uniform_scaling_search`."""
+    """The bisection behind :func:`_uniform_scaling_search`.
+
+    Split into a HI phase (the bisection — a pure function of the HC
+    tasks, the refinement flag and, under degraded service, the LC
+    members) and a LO verdict on the winning assignment.  On a memo-backed
+    engine the HI phase is cached across *candidates*: probing different
+    LC tasks onto the same core leaves the HC set unchanged, so only the
+    final LO check differs — the same sharing the per-``(HC, Dv)`` HI memo
+    entries already exploit, lifted to the whole search.
+    """
+    best = _uniform_hi_phase(high_tasks, refine, engine)
+    if best is None:
+        return None
+    if not engine.lo_feasible(best):
+        return None
+    return TuningOutcome(True, best, 0, "uniform deadline scaling")
+
+
+def _uniform_hi_phase(
+    high_tasks: list[MCTask],
+    refine: bool,
+    engine: DemandEngine,
+) -> dict[int, int] | None:
+    """Largest-``x`` HI-feasible uniform assignment, or None.
+
+    None covers both "no scaling is HI-feasible" and "a check overran the
+    horizon cap" — in either case the caller falls back to the per-task
+    descent, exactly as the historical single-function search did.
+    """
+    memo = engine._memo
+    key = None
+    if memo is not None:
+        key = ("unib", engine._high_ids, engine._lc_sig, refine)
+        hit = memo.get(key)
+        if hit is not None:
+            best = hit[0]
+            return dict(best) if best is not None else None
 
     def hi_ok(vd: dict[int, int]) -> bool | None:
         try:
@@ -931,30 +1389,33 @@ def _uniform_scaling_search_impl(
         except HorizonExceeded:
             return None
 
+    def store(best: dict[int, int] | None) -> dict[int, int] | None:
+        if key is not None:
+            memo[key] = (dict(best) if best is not None else None,)
+        return best
+
     granularity = 1.0 / (2 * max(t.deadline for t in high_tasks))
     lo_x, hi_x = 0.0, 1.0
     # Invariant target: find the largest x whose scaling is HI-feasible.
     verdict = hi_ok(_scaled_deadlines(high_tasks, hi_x))
     if verdict is None:
-        return None
+        return store(None)
     if not verdict:
         while hi_x - lo_x > granularity:
             mid = (lo_x + hi_x) / 2.0
             verdict = hi_ok(_scaled_deadlines(high_tasks, mid))
             if verdict is None:
-                return None
+                return store(None)
             if verdict:
                 lo_x = mid
             else:
                 hi_x = mid
         best = _scaled_deadlines(high_tasks, lo_x)
         if not hi_ok(best):
-            return None
+            return store(None)
     else:
         best = _scaled_deadlines(high_tasks, hi_x)
-    if not engine.lo_feasible(best):
-        return None
-    return TuningOutcome(True, best, 0, "uniform deadline scaling")
+    return store(best)
 
 
 def _descend(
@@ -964,26 +1425,51 @@ def _descend(
     refine: bool,
     engine: DemandEngine,
 ) -> TuningOutcome:
-    """The shrink-descent loop from an LO-feasible starting assignment."""
+    """The shrink-descent loop from an LO-feasible starting assignment.
+
+    The historical loop re-ran the HI check and re-scored every candidate
+    on each iteration, including the *freeze* iterations that only rule a
+    task out (its LO-feasible shrink came back 0).  Neither input changes
+    while ``vd`` is fixed: the memoized check returns the identical
+    ``(violation, demand)`` pair and the candidate scores are independent
+    of the frozen set — so the candidates are ranked **once per
+    assignment** and freeze iterations simply advance to the next entry.
+    Iteration accounting, pick order (the descending ranking's first
+    non-frozen entry equals the historical per-iteration argmax: the score
+    key embeds ``-task_id``, a total order) and every outcome are
+    unchanged; only the redundant re-evaluations are gone.
+    """
     vd = dict(vd)
     frozen: set[int] = set()
     # Shrinking any Dv only lowers HI demand, so check points below the
     # last seen violation stay feasible for the rest of the descent — the
     # scan may resume there (a pure cost hint; see DemandEngine).
     front = 0
+    current: tuple[int | None, int | None] | None = None
+    ranked: list[tuple[tuple, MCTask, int]] | None = None
     for iteration in range(1, _MAX_ITERATIONS + 1):
-        try:
-            violation, demand = engine.hi_check(vd, refine, not_before=front)
-        except HorizonExceeded:
-            return TuningOutcome(False, vd, iteration, "HI horizon cap exceeded")
+        if current is None:
+            try:
+                current = engine.hi_check(vd, refine, not_before=front)
+            except HorizonExceeded:
+                return TuningOutcome(
+                    False, vd, iteration, "HI horizon cap exceeded"
+                )
+        violation, demand = current
         if violation is None:
             return TuningOutcome(True, vd, iteration)
         front = violation
 
         deficit = demand - violation
-        candidate = _pick_candidate(
-            high_tasks, vd, frozen, violation, deficit, policy, engine
-        )
+        if ranked is None:
+            ranked = _rank_candidates(
+                high_tasks, vd, violation, deficit, policy, engine
+            )
+        candidate = None
+        for _key, task, desired in ranked:
+            if task.task_id not in frozen:
+                candidate = (task, desired)
+                break
         if candidate is None:
             return TuningOutcome(
                 False, vd, iteration, f"no shrinkable task at l*={violation}"
@@ -995,44 +1481,77 @@ def _descend(
             continue
         vd[task.task_id] -= shrink
         frozen.clear()  # shrinking one task may unfreeze others elsewhere
+        current = None
+        ranked = None
 
     return TuningOutcome(False, vd, _MAX_ITERATIONS, "iteration cap reached")
 
 
-def _pick_candidate(
+def _rank_candidates(
     high_tasks: list[MCTask],
     vd: dict[int, int],
-    frozen: set[int],
     violation: int,
     deficit: int,
     policy: str,
     engine: DemandEngine,
-) -> tuple[MCTask, int] | None:
-    """Choose the task to shrink and the desired shrink amount."""
-    best: tuple[float, int, MCTask, int] | None = None
+) -> list[tuple[tuple, MCTask, int]]:
+    """All shrink candidates for one assignment, best first.
+
+    Entries are ``(key, task, desired)`` with the historical pick key
+    ``(score, remaining slack, -task_id)``; sorting descending makes the
+    first non-frozen entry the per-iteration argmax of the original
+    :func:`_pick_candidate` for every frozen set.
+    """
+    ranked: list[tuple[tuple, MCTask, int]] = []
     for task in high_tasks:
-        if task.task_id in frozen:
-            continue
+        # Inlined _min_shrink_for_gain / _shrink_to_clear / _hi_gain on
+        # plain ints — the identical closed forms, sans attribute hops and
+        # memo round-trips, in the single hottest loop of the descent.
         vd_now = vd[task.task_id]
-        first = engine.min_shrink_for_gain(task, vd_now, violation)
-        if first is None:
+        period, wcet_lo, wcet_hi = task.period, task.wcet_lo, task.wcet_hi
+        max_shrink = vd_now - wcet_lo
+        if max_shrink <= 0:
             continue
-        desired = engine.shrink_to_clear(task, vd_now, violation, deficit)
-        desired = max(desired, first)
-        gain = engine.hi_gain(task, vd_now, desired, violation)
+        x = violation - (task.deadline - vd_now)
+        if x < 0:
+            continue  # shrinking moves the carry-over even further out
+        r0 = x % period
+        first = 1 if r0 < wcet_lo else (r0 - wcet_lo + 1)
+        if first > max_shrink:
+            continue
+        d_now = (x // period + 1) * wcet_hi - max(0, wcet_lo - r0)
+        x_floor = x - max_shrink
+        if x_floor >= 0:
+            d_floor = (x_floor // period + 1) * wcet_hi - max(
+                0, wcet_lo - x_floor % period
+            )
+        else:
+            d_floor = 0
+        target = min(deficit, d_now - d_floor)
+        if target <= 0:
+            desired = max_shrink
+        else:
+            desired = _invert_shrink(task, vd_now, violation, target)
+        if desired < first:
+            desired = first
+        x_new = x - desired
+        if x_new >= 0:
+            d_new = (x_new // period + 1) * wcet_hi - max(
+                0, wcet_lo - x_new % period
+            )
+        else:
+            d_new = 0
+        gain = d_now - d_new
         if gain <= 0:
             continue
         if policy == "steepest":
             score = float(gain)
         else:  # ratio: HI gain per unit of LO density increase
-            density_now = task.wcet_lo / vd_now
-            density_new = task.wcet_lo / (vd_now - desired)
+            density_now = wcet_lo / vd_now
+            density_new = wcet_lo / (vd_now - desired)
             cost = max(density_new - density_now, 1e-12)
             score = gain / cost
         # Tie-break: prefer more remaining slack, then stable task order.
-        key = (score, vd_now - task.wcet_lo, -task.task_id)
-        if best is None or key > (best[0], best[1], -best[2].task_id):
-            best = (key[0], key[1], task, desired)
-    if best is None:
-        return None
-    return best[2], best[3]
+        ranked.append(((score, max_shrink, -task.task_id), task, desired))
+    ranked.sort(key=lambda entry: entry[0], reverse=True)
+    return ranked

@@ -302,7 +302,7 @@ def _resolve_jobs(jobs: int) -> int:
 def _cmd_figure(args) -> int:
     from repro.experiments import run_figure
     from repro.experiments.export import save_figure_result
-    from repro.experiments.report import render_figure
+    from repro.experiments.report import render_figure, render_sweep_diagnostics
     from repro.runner import ProgressReporter, ShardCache
 
     kwargs = {}
@@ -310,6 +310,7 @@ def _cmd_figure(args) -> int:
         kwargs["m_values"] = tuple(int(v) for v in args.m.split(","))
     cache = ShardCache(args.cache_dir) if args.cache_dir else None
     progress = ProgressReporter(label=args.name) if args.progress else None
+    diagnostics: list = []
     result = run_figure(
         args.name,
         samples=args.samples,
@@ -317,6 +318,7 @@ def _cmd_figure(args) -> int:
         cache=cache,
         progress=progress,
         pipeline=args.pipeline,
+        diagnostics=diagnostics,
         **kwargs,
     )
     if progress is not None:
@@ -325,6 +327,9 @@ def _cmd_figure(args) -> int:
         save_figure_result(result, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
     print(render_figure(result))
+    rendered = render_sweep_diagnostics(diagnostics)
+    if rendered:
+        print(rendered, file=sys.stderr)
     return 0
 
 

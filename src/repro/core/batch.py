@@ -61,10 +61,16 @@ class BatchPartitionOutcome:
     ``settled[i]`` records which mechanism produced it — a prefilter name
     (``"sum-lo"``, ``"sum-hi"``, ``"lone-task"``), ``"ledger"`` for the
     columnar replay, or ``"full"`` for the per-taskset fallback.
+
+    ``kernel_counts`` is the demand-kernel diagnostics delta accumulated
+    while this run executed (screen/QPA settles and iteration totals from
+    :func:`repro.analysis.dbf.kernel_counters`) — purely informational,
+    never part of outcome equality or cache identity.
     """
 
     accepted: list[bool] = field(default_factory=list)
     settled: list[str] = field(default_factory=list)
+    kernel_counts: dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def accepted_count(self) -> int:
@@ -221,6 +227,26 @@ def _set_lists(batch: TaskSetBatch, index: int, u_res_column):
     return lists
 
 
+def _row_view(batch: TaskSetBatch, index: int):
+    """Per-set :class:`~repro.analysis.prefilter.RowView`, cached."""
+    from repro.analysis.prefilter import RowView
+
+    view = batch.replay_cache.get(("rows", index))
+    if view is None:
+        rows = batch.set_slice(index)
+        service = batch.service_model
+        view = RowView(
+            period=batch.period[rows].tolist(),
+            wcet_lo=batch.wcet_lo[rows].tolist(),
+            wcet_hi=batch.wcet_hi[rows].tolist(),
+            deadline=batch.deadline[rows].tolist(),
+            is_high=batch.is_high[rows].tolist(),
+            degraded=service is not None and not service.is_full_drop,
+        )
+        batch.replay_cache[("rows", index)] = view
+    return view
+
+
 def _replay_set(
     batch: TaskSetBatch,
     index: int,
@@ -238,12 +264,14 @@ def _replay_set(
     order = _order_indices(
         strategy.order_spec, n, is_high, u_own, u_lo, ties
     )
+    view = _row_view(batch, index) if screen.uses_rows else None
 
     a = [0.0] * m
     b = [0.0] * m
     c = [0.0] * m
     res = [0.0] * m
     implicit = [True] * m
+    members: list[list[int]] = [[] for _ in range(m)]
     for i in order:
         high = is_high[i]
         spec = strategy.hc_fit_spec if high else strategy.lc_fit_spec
@@ -257,14 +285,27 @@ def _replay_set(
                 ca += u_lo[i]
                 if res_task is not None:
                     cres += res_task[i]
-            verdict = screen.decide(
-                ca, cb, cc, cres, implicit[j] and implicit_task[i]
-            )
+            if view is not None:
+                verdict = screen.decide_rows(
+                    ca,
+                    cb,
+                    cc,
+                    cres,
+                    implicit[j] and implicit_task[i],
+                    members[j],
+                    i,
+                    view,
+                )
+            else:
+                verdict = screen.decide(
+                    ca, cb, cc, cres, implicit[j] and implicit_task[i]
+                )
             if verdict is None:
                 return None
             if verdict:
                 a[j], b[j], c[j], res[j] = ca, cb, cc, cres
                 implicit[j] = implicit[j] and implicit_task[i]
+                members[j].append(i)
                 placed = True
                 break
         if not placed:
@@ -304,12 +345,15 @@ def partition_batch(
     test's model assumptions (the batch-level twin of the scalar gates) and
     ``ValueError`` when ``m`` is not positive.
     """
+    from repro.analysis.dbf import kernel_counters
+
     if m <= 0:
         raise ValueError(f"m must be positive, got {m}")
     outcome = BatchPartitionOutcome()
     if len(batch) == 0:
         return outcome
     _validate_batch_support(batch, test, strategy)
+    counters_before = kernel_counters()
 
     if bank is None:
         bank = default_prefilter_bank()
@@ -339,4 +383,10 @@ def partition_batch(
         )
         outcome.accepted.append(result.success)
         outcome.settled.append("full")
+    after = kernel_counters()
+    outcome.kernel_counts = {
+        key: after[key] - counters_before[key]
+        for key in after
+        if after[key] != counters_before[key]
+    }
     return outcome

@@ -41,6 +41,7 @@ __all__ = [
     "SweepResult",
     "BucketOutcome",
     "AcceptanceSweep",
+    "kernel_summary",
     "merge_outcomes",
     "settled_summary",
     "validate_algorithms",
@@ -203,10 +204,17 @@ class BucketOutcome:
     bucket: float
     samples: int  #: task sets actually generated (0 = bucket infeasible)
     ratios: dict[str, float]
-    #: neither diagnostic participates in outcome equality — two shards
+    #: none of the diagnostics participate in outcome equality — two shards
     #: with the same ratios are the same shard, however they were settled
     accepted: dict[str, int] | None = field(default=None, compare=False)
     settled: dict[str, dict[str, int]] | None = field(
+        default=None, compare=False
+    )
+    #: per-algorithm demand-kernel counters (``qpa-accept`` /
+    #: ``approx-accept`` / ``approx-reject`` settles, QPA run/iteration
+    #: totals) accumulated while the shard executed — batched pipeline
+    #: only, None otherwise; cache keys and payload identity are unchanged
+    kernel: dict[str, dict[str, int]] | None = field(
         default=None, compare=False
     )
 
@@ -227,6 +235,32 @@ def settled_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, int]
             into = summary.setdefault(name, {})
             for source, count in counts.items():
                 into[source] = into.get(source, 0) + count
+    return summary
+
+
+def kernel_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, float]]:
+    """Aggregate per-algorithm demand-kernel diagnostics over many shards.
+
+    Sums the ``qpa-accept`` / ``approx-accept`` / ``approx-reject`` settle
+    counters and folds the iteration totals into ``qpa-iter-mean`` (mean
+    backward fixed-point iterations per QPA search).  Shards without
+    kernel diagnostics (scalar pipeline, cache loads) contribute nothing —
+    this is the sweep-level report the ``--pipeline`` diagnostics and the
+    dbf-kernel benchmark print.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for outcome in outcomes:
+        if not outcome.kernel:
+            continue
+        for name, counts in outcome.kernel.items():
+            into = summary.setdefault(name, {})
+            for key, value in counts.items():
+                into[key] = into.get(key, 0) + value
+    for counts in summary.values():
+        runs = counts.pop("qpa-runs", 0)
+        iterations = counts.pop("qpa-iterations", 0)
+        if runs:
+            counts["qpa-iter-mean"] = round(iterations / runs, 2)
     return summary
 
 
@@ -363,6 +397,7 @@ class AcceptanceSweep:
         ratios: dict[str, float] = {}
         accepted: dict[str, int] = {}
         settled: dict[str, dict[str, int]] = {}
+        kernel: dict[str, dict[str, int]] = {}
         if len(batch):
             for algorithm in algorithms:
                 # A bank binds to one test instance; rebind on a fresh
@@ -381,12 +416,15 @@ class AcceptanceSweep:
                 accepted[algorithm.name] = outcome.accepted_count
                 ratios[algorithm.name] = outcome.accepted_count / len(batch)
                 settled[algorithm.name] = outcome.settled_counts()
+                if outcome.kernel_counts:
+                    kernel[algorithm.name] = outcome.kernel_counts
         return BucketOutcome(
             bucket=bucket,
             samples=len(batch),
             ratios=ratios,
             accepted=accepted or None,
             settled=settled or None,
+            kernel=kernel or None,
         )
 
     def run(self, algorithms: list[PartitionedAlgorithm]) -> SweepResult:

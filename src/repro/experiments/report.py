@@ -13,8 +13,40 @@ __all__ = [
     "render_war",
     "improvement_summary",
     "render_figure",
+    "render_sweep_diagnostics",
     "sweep_to_csv",
 ]
+
+
+def render_sweep_diagnostics(outcomes: list) -> str:
+    """The batched pipeline's settled-by and demand-kernel report.
+
+    One line per algorithm: how many task sets each settling mechanism
+    decided (prefilters, ledger replay, full fallback) and the demand-
+    kernel counters (screen/QPA settles, mean QPA iterations) accumulated
+    while the shards ran.  Empty string when the outcomes carry no
+    diagnostics (scalar pipeline, cache-loaded shards).
+    """
+    from repro.experiments.acceptance import kernel_summary, settled_summary
+
+    settled = settled_summary(outcomes)
+    kernels = kernel_summary(outcomes)
+    if not settled and not kernels:
+        return ""
+    lines = ["pipeline diagnostics (settled-by | demand kernel):"]
+    for name in sorted(set(settled) | set(kernels)):
+        sources = settled.get(name, {})
+        settled_part = (
+            " ".join(f"{key}={sources[key]}" for key in sorted(sources))
+            or "-"
+        )
+        counters = kernels.get(name, {})
+        kernel_part = (
+            " ".join(f"{key}={counters[key]}" for key in sorted(counters))
+            or "-"
+        )
+        lines.append(f"  {name}: {settled_part} | {kernel_part}")
+    return "\n".join(lines)
 
 
 def render_sweep(sweep: SweepResult, title: str | None = None) -> str:

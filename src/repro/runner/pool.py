@@ -97,14 +97,22 @@ def run_sweep(
     cache: "ShardCache | None" = None,
     progress: "ProgressReporter | None" = None,
     pipeline: str = "batched",
+    diagnostics: list | None = None,
 ) -> SweepResult:
     """One full acceptance sweep through the shard runner.
 
     ``pipeline`` picks the shard execution path (columnar ``"batched"`` or
     per-taskset ``"scalar"``); results and cache identities are the same
-    either way — see :mod:`repro.experiments.acceptance`.
+    either way — see :mod:`repro.experiments.acceptance`.  When a
+    ``diagnostics`` list is passed, the raw per-bucket outcomes are
+    appended to it so callers can render the settled-by / demand-kernel
+    reports (:func:`~repro.experiments.acceptance.settled_summary`,
+    :func:`~repro.experiments.acceptance.kernel_summary`) without
+    affecting the merged result or the cache identity.
     """
     names = list(algorithm_names)
     units = decompose_sweep(config, names, pipeline=pipeline)
     outcomes = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    if diagnostics is not None:
+        diagnostics.extend(outcomes)
     return merge_outcomes(config, names, outcomes)

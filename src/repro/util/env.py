@@ -5,16 +5,30 @@ Two knobs control experiment scale everywhere (figures, benchmarks, CI):
 * ``REPRO_SAMPLES`` — task sets per ``UB`` bucket (the paper used 1000).
 * ``REPRO_M`` — comma-separated processor counts (the paper swept 2,4,8).
 
-This module is the single parsing/validation point; both
-:func:`repro.experiments.figures.default_samples` and the benchmark
-harness delegate here so a malformed knob fails the same way everywhere.
+Two more tune the demand kernel of :mod:`repro.analysis.dbf`:
+
+* ``REPRO_DBF_SCAN_CHUNK`` — breakpoint chunk size of the forward
+  violation scan (default 4096).
+* ``REPRO_DBF_APPROX_K`` — exact-step depth ``k`` of the Fisher–Baruah
+  style dbf upper-bound screens (default 3); the screens stay sound for
+  every positive ``k``, larger values trade screen cost for coverage.
+
+This module is the single parsing/validation point; the figure defaults,
+the benchmark harness and the analysis kernel all delegate here so a
+malformed knob fails the same way everywhere.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["positive_int_env", "samples_from_env", "m_values_from_env"]
+__all__ = [
+    "positive_int_env",
+    "samples_from_env",
+    "m_values_from_env",
+    "scan_chunk_from_env",
+    "approx_k_from_env",
+]
 
 
 def positive_int_env(name: str, fallback: int) -> int:
@@ -38,6 +52,16 @@ def positive_int_env(name: str, fallback: int) -> int:
 def samples_from_env(fallback: int = 100) -> int:
     """Samples per ``UB`` bucket: ``REPRO_SAMPLES`` or ``fallback``."""
     return positive_int_env("REPRO_SAMPLES", fallback)
+
+
+def scan_chunk_from_env(fallback: int = 4096) -> int:
+    """Forward-scan chunk size: ``REPRO_DBF_SCAN_CHUNK`` or ``fallback``."""
+    return positive_int_env("REPRO_DBF_SCAN_CHUNK", fallback)
+
+
+def approx_k_from_env(fallback: int = 3) -> int:
+    """Approximation-screen depth ``k``: ``REPRO_DBF_APPROX_K`` or ``fallback``."""
+    return positive_int_env("REPRO_DBF_APPROX_K", fallback)
 
 
 def m_values_from_env(fallback: tuple[int, ...] = (2, 4, 8)) -> tuple[int, ...]:

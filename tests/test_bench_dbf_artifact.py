@@ -1,0 +1,61 @@
+"""The committed BENCH_dbf.json must stay parseable and well-formed.
+
+The dbf-kernel benchmark writes its trajectory to the repo root so the
+perf history travels with the code (next to ``BENCH_batch.json``); this
+check keeps a malformed or hand-mangled artifact from landing silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_dbf.json"
+
+REQUIRED_FIGURE_KEYS = {
+    "m",
+    "tasksets",
+    "algorithms",
+    "forward_scalar_s",
+    "qpa_scalar_s",
+    "qpa_batched_s",
+    "speedup_end_to_end",
+    "tasksets_per_sec_forward",
+    "tasksets_per_sec_qpa",
+    "kernel_counters",
+}
+
+KERNEL_COUNTER_KEYS = {"qpa-accept", "approx-accept", "approx-reject"}
+
+
+def test_bench_dbf_json_parses():
+    data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    assert data["samples_per_bucket"] > 0
+    assert set(data["kernels"]) == {"forward", "qpa"}
+
+    micro = data["microbench"]
+    assert micro["tasksets"] > 0
+    assert micro["forward_s"] > 0 and micro["qpa_s"] > 0
+    assert micro["speedup"] > 0
+    assert micro["qpa_runs"] >= 0
+    assert micro["qpa_iterations_mean"] >= 0
+    assert KERNEL_COUNTER_KEYS <= set(micro["settled"])
+
+    figures = data["figures"]
+    assert "fig4" in figures and "fig5" in figures
+    for fig, row in figures.items():
+        missing = REQUIRED_FIGURE_KEYS - set(row)
+        assert not missing, f"{fig} missing {sorted(missing)}"
+        assert row["tasksets"] > 0
+        assert row["forward_scalar_s"] > 0
+        assert row["qpa_scalar_s"] > 0 and row["qpa_batched_s"] > 0
+        assert row["speedup_end_to_end"] > 0
+        for name, counters in row["kernel_counters"].items():
+            assert counters, f"{fig}/{name} has no kernel counters"
+            for key, value in counters.items():
+                assert value >= 0, f"{fig}/{name} {key} negative"
+
+    # The context the fig4 aspiration is measured against.
+    baseline = data["committed_batch_baseline"]
+    assert baseline["fig4_m4_scalar_tasksets_per_sec"] > 0
