@@ -47,6 +47,7 @@ import abc
 from typing import Any
 
 from repro.model import MCTask, TaskSet
+from repro import obs as _obs
 from repro.analysis.interface import AnalysisResult, SchedulabilityTest
 
 __all__ = [
@@ -102,6 +103,8 @@ class AnalysisContext(abc.ABC):
 
     def commit(self, task: MCTask) -> None:
         """Assign ``task`` to this core."""
+        if _obs.active():
+            _obs.REGISTRY.add("context.commits")
         self._tasks.append(task)
         self._epochs.append(self._generation)
         if task.is_high:
@@ -116,6 +119,8 @@ class AnalysisContext(abc.ABC):
 
     def snapshot(self) -> Any:
         """Opaque token capturing the committed state (O(1))."""
+        if _obs.active():
+            _obs.REGISTRY.add("context.snapshots")
         return (
             len(self._tasks),
             self._generation,
@@ -139,6 +144,8 @@ class AnalysisContext(abc.ABC):
         repeatedly around retries is fine — its retained prefix is
         unchanged in that pattern.)
         """
+        if _obs.active():
+            _obs.REGISTRY.add("context.rollbacks")
         count, generation, u_ll, u_lh, u_hh, u_res, implicit, constrained = token
         if count > len(self._tasks):
             raise ValueError("snapshot is newer than the current context state")

@@ -87,6 +87,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.model import MCTask, TaskSet
+from repro.obs import REGISTRY as _OBS_REGISTRY
 from repro.util.env import approx_k_from_env, scan_chunk_from_env
 
 __all__ = [
@@ -245,13 +246,22 @@ def _first_violation(points: np.ndarray, demand_fn) -> int | None:
 _KERNELS = ("qpa", "forward")
 _KERNEL = "qpa"
 
-_COUNTERS = {
-    "qpa-accept": 0,  # checks settled by a QPA pass
-    "approx-accept": 0,  # checks settled by the upper-bound screen
-    "approx-reject": 0,  # probes settled by a point-violation reject screen
-    "qpa-iterations": 0,  # total backward fixed-point iterations
-    "qpa-runs": 0,  # number of QPA searches started
-}
+# The kernel diagnostics live on the obs registry as the "dbf" counter
+# scope: the registry hands back a plain mutable dict, so the hot loops
+# below keep their historical ``_COUNTERS[key] += 1`` cost while snapshots,
+# worker->parent merging and the exporters see the values as ``dbf.<key>``.
+# They are always on (no REPRO_OBS gate) — the pipeline diagnostics the
+# CLI prints must work out of the box.
+_COUNTERS = _OBS_REGISTRY.counter_scope(
+    "dbf",
+    (
+        "qpa-accept",  # checks settled by a QPA pass
+        "approx-accept",  # checks settled by the upper-bound screen
+        "approx-reject",  # probes settled by a point-violation reject screen
+        "qpa-iterations",  # total backward fixed-point iterations
+        "qpa-runs",  # number of QPA searches started
+    ),
+)
 
 
 def demand_kernel() -> str:

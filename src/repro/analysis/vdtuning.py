@@ -54,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.model import MCTask, TaskSet
+from repro import obs as _obs
 from repro.analysis import dbf as _dbf
 from repro.analysis.dbf import (
     DemandScenario,
@@ -1186,6 +1187,11 @@ def tune_virtual_deadlines(
 ) -> TuningOutcome:
     """Run the descent loop; see module docstring.
 
+    With recording on (:mod:`repro.obs`) each call — i.e. each tuning
+    probe — contributes its trajectory length to the
+    ``descent.iterations`` histogram and ticks a per-outcome counter;
+    pure observation, the outcome itself is untouched.
+
     Parameters
     ----------
     taskset:
@@ -1202,6 +1208,24 @@ def tune_virtual_deadlines(
         Callers passing a memo-backed engine (the incremental contexts)
         get identical outcomes with repeated work deduplicated.
     """
+    outcome = _tune_virtual_deadlines_impl(
+        taskset, policy, refine, horizon_cap, engine
+    )
+    if _obs.active():
+        _obs.REGISTRY.observe("descent.iterations", float(outcome.iterations))
+        _obs.REGISTRY.add(
+            "descent.accepted" if outcome.schedulable else "descent.rejected"
+        )
+    return outcome
+
+
+def _tune_virtual_deadlines_impl(
+    taskset: TaskSet,
+    policy: str,
+    refine: bool,
+    horizon_cap: int,
+    engine: DemandEngine | None,
+) -> TuningOutcome:
     if policy not in ("steepest", "ratio"):
         raise ValueError(f"unknown tuning policy {policy!r}")
     if engine is None:

@@ -13,10 +13,16 @@ Commands
 ``figure``
     Run one of the paper's figure experiments and print its tables
     (``--jobs N`` fans buckets out over a worker pool; ``--cache-dir``
-    makes the run resumable).
+    makes the run resumable).  With ``REPRO_OBS`` set, the collected
+    metrics snapshot (and, under ``trace``, the Chrome-trace span dump)
+    are written alongside the tables.
 ``campaign``
     Run a whole set of figures through the parallel, resumable campaign
     engine and save their JSON results.
+``trace``
+    Run a figure with the tracing recorder forced on and write the
+    Chrome-trace span dump (open it in Perfetto or ``about:tracing``)
+    plus the obs metrics snapshot.
 ``sensitivity``
     Run the utilization-difference sensitivity extension experiment.
 
@@ -134,6 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
             "are identical"
         ),
     )
+    figure.add_argument(
+        "--obs-out",
+        default=None,
+        help=(
+            "metrics snapshot path when REPRO_OBS is on "
+            "(default BENCH_obs.json)"
+        ),
+    )
+    figure.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "Chrome-trace path when REPRO_OBS=trace "
+            "(default repro-trace.json)"
+        ),
+    )
 
     campaign = sub.add_parser(
         "campaign", help="run a figure campaign (parallel + resumable)"
@@ -178,6 +200,38 @@ def build_parser() -> argparse.ArgumentParser:
             "ledger replay, default) or 'scalar' (per-taskset); results "
             "are identical"
         ),
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a figure with tracing forced on; write the span dump",
+    )
+    trace.add_argument(
+        "name",
+        choices=("fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7a", "fig7b"),
+    )
+    trace.add_argument("--samples", type=int, default=None)
+    trace.add_argument(
+        "--m", default=None, help="comma-separated processor counts"
+    )
+    trace.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores, default 1 = serial)",
+    )
+    trace.add_argument(
+        "--pipeline", choices=("batched", "scalar"), default="batched"
+    )
+    trace.add_argument(
+        "--trace-out",
+        default="repro-trace.json",
+        help="Chrome-trace output path (Perfetto / about:tracing)",
+    )
+    trace.add_argument(
+        "--obs-out",
+        default="BENCH_obs.json",
+        help="metrics snapshot output path",
     )
 
     sens = sub.add_parser(
@@ -299,8 +353,30 @@ def _resolve_jobs(jobs: int) -> int:
     return default_jobs() if jobs == 0 else jobs
 
 
+def _write_obs_outputs(obs_out: str | None, trace_out: str | None) -> None:
+    """Persist the obs snapshot (and span dump under tracing), if recording.
+
+    A no-op with ``REPRO_OBS`` off, so plain runs never touch the
+    filesystem beyond what they always wrote.
+    """
+    from repro import obs
+
+    if obs.active():
+        path = obs_out or "BENCH_obs.json"
+        snapshot = obs.to_json(obs.REGISTRY, obs.spans(), mode=obs.mode())
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote obs snapshot to {path}", file=sys.stderr)
+    if obs.tracing():
+        path = obs.write_chrome_trace(obs.spans(), trace_out or "repro-trace.json")
+        print(f"wrote chrome trace to {path}", file=sys.stderr)
+
+
 def _cmd_figure(args) -> int:
+    from repro import obs
     from repro.experiments import run_figure
+    from repro.experiments.acceptance import kernel_summary
     from repro.experiments.export import save_figure_result
     from repro.experiments.report import render_figure, render_sweep_diagnostics
     from repro.runner import ProgressReporter, ShardCache
@@ -311,6 +387,10 @@ def _cmd_figure(args) -> int:
     cache = ShardCache(args.cache_dir) if args.cache_dir else None
     progress = ProgressReporter(label=args.name) if args.progress else None
     diagnostics: list = []
+    # The registry is cumulative per process; a baseline keeps the printed
+    # kernel diagnostics scoped to this run (relevant to tests and embeds —
+    # a fresh CLI process starts at zero anyway).
+    kernel_baseline = obs.REGISTRY.counters("kernel.")
     result = run_figure(
         args.name,
         samples=args.samples,
@@ -327,10 +407,38 @@ def _cmd_figure(args) -> int:
         save_figure_result(result, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
     print(render_figure(result))
-    rendered = render_sweep_diagnostics(diagnostics)
+    rendered = render_sweep_diagnostics(
+        diagnostics, kernels=kernel_summary(since=kernel_baseline)
+    )
     if rendered:
         print(rendered, file=sys.stderr)
+    _write_obs_outputs(args.obs_out, args.trace_out)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.experiments import run_figure
+
+    kwargs = {}
+    if args.m:
+        kwargs["m_values"] = tuple(int(v) for v in args.m.split(","))
+    previous = obs.set_recorder(obs.TraceRecorder(obs.REGISTRY))
+    try:
+        run_figure(
+            args.name,
+            samples=args.samples,
+            jobs=_resolve_jobs(args.jobs),
+            pipeline=args.pipeline,
+            **kwargs,
+        )
+        table = obs.render_table(obs.REGISTRY, obs.spans())
+        if table:
+            print(table)
+        _write_obs_outputs(args.obs_out, args.trace_out)
+        return 0
+    finally:
+        obs.set_recorder(previous)
 
 
 def _cmd_campaign(args) -> int:
@@ -408,6 +516,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
     "sensitivity": _cmd_sensitivity,
 }
 

@@ -35,6 +35,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.model import MCTask, TaskSet
+from repro import obs as _obs
 from repro.analysis.interface import SchedulabilityTest
 
 __all__ = [
@@ -280,11 +281,14 @@ def partition(
         if all(context is not None for context in candidates):
             contexts = candidates
     assignment: dict[int, int] = {}
+    fit_attempts = 0
+    commits = 0
 
     for task in strategy.order(taskset):
         fit = strategy.fit_for(task)
         placed = False
         for proc_index in fit(processors):
+            fit_attempts += 1
             if contexts is not None:
                 admitted = contexts[proc_index].probe(task)
             else:
@@ -296,8 +300,10 @@ def partition(
                     contexts[proc_index].commit(task)
                 assignment[task.task_id] = proc_index
                 placed = True
+                commits += 1
                 break
         if not placed:
+            _record_partition_metrics(strategy.name, fit_attempts, commits, False)
             return PartitionResult(
                 success=False,
                 strategy_name=strategy.name,
@@ -307,6 +313,7 @@ def partition(
                 assignment=assignment,
                 failed_task=task,
             )
+    _record_partition_metrics(strategy.name, fit_attempts, commits, True)
     return PartitionResult(
         success=True,
         strategy_name=strategy.name,
@@ -314,4 +321,25 @@ def partition(
         m=m,
         cores=tuple(p.taskset() for p in processors),
         assignment=assignment,
+    )
+
+
+def _record_partition_metrics(
+    strategy_name: str, fit_attempts: int, commits: int, success: bool
+) -> None:
+    """Fold one :func:`partition` run's totals into the obs registry.
+
+    Local integers are accumulated unconditionally (two additions per
+    probe) and only published here, so the per-probe hot loop stays free
+    of registry lookups when recording is off.
+    """
+    if not _obs.active():
+        return
+    _obs.REGISTRY.add_counters(
+        {
+            f"alloc.{strategy_name}.fit-attempts": fit_attempts,
+            f"alloc.{strategy_name}.commits": commits,
+            f"alloc.{strategy_name}.placed" if success
+            else f"alloc.{strategy_name}.failed": 1,
+        }
     )

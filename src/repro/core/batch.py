@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.model import TaskSetBatch
+from repro import obs as _obs
 from repro.analysis.interface import SchedulabilityTest
 from repro.analysis.prefilter import (
     PrefilterBank,
@@ -62,15 +63,14 @@ class BatchPartitionOutcome:
     (``"sum-lo"``, ``"sum-hi"``, ``"lone-task"``), ``"ledger"`` for the
     columnar replay, or ``"full"`` for the per-taskset fallback.
 
-    ``kernel_counts`` is the demand-kernel diagnostics delta accumulated
-    while this run executed (screen/QPA settles and iteration totals from
-    :func:`repro.analysis.dbf.kernel_counters`) — purely informational,
-    never part of outcome equality or cache identity.
+    Demand-kernel diagnostics formerly carried here as ``kernel_counts``
+    now live in the :mod:`repro.obs` registry (the sweep layer records
+    per-algorithm deltas under ``kernel.<algorithm>.*``) — outcome
+    equality and cache identity never depended on them.
     """
 
     accepted: list[bool] = field(default_factory=list)
     settled: list[str] = field(default_factory=list)
-    kernel_counts: dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def accepted_count(self) -> int:
@@ -345,15 +345,12 @@ def partition_batch(
     test's model assumptions (the batch-level twin of the scalar gates) and
     ``ValueError`` when ``m`` is not positive.
     """
-    from repro.analysis.dbf import kernel_counters
-
     if m <= 0:
         raise ValueError(f"m must be positive, got {m}")
     outcome = BatchPartitionOutcome()
     if len(batch) == 0:
         return outcome
     _validate_batch_support(batch, test, strategy)
-    counters_before = kernel_counters()
 
     if bank is None:
         bank = default_prefilter_bank()
@@ -383,10 +380,10 @@ def partition_batch(
         )
         outcome.accepted.append(result.success)
         outcome.settled.append("full")
-    after = kernel_counters()
-    outcome.kernel_counts = {
-        key: after[key] - counters_before[key]
-        for key in after
-        if after[key] != counters_before[key]
-    }
+    if _obs.active():
+        # Counters total across runs; the histograms keep the per-run
+        # settle distribution (one observation per stage per batch).
+        for source, count in outcome.settled_counts().items():
+            _obs.REGISTRY.add(f"prefilter.{source}", count)
+            _obs.REGISTRY.observe(f"prefilter.{source}.settled", float(count))
     return outcome

@@ -210,13 +210,6 @@ class BucketOutcome:
     settled: dict[str, dict[str, int]] | None = field(
         default=None, compare=False
     )
-    #: per-algorithm demand-kernel counters (``qpa-accept`` /
-    #: ``approx-accept`` / ``approx-reject`` settles, QPA run/iteration
-    #: totals) accumulated while the shard executed — batched pipeline
-    #: only, None otherwise; cache keys and payload identity are unchanged
-    kernel: dict[str, dict[str, int]] | None = field(
-        default=None, compare=False
-    )
 
 
 def settled_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, int]]:
@@ -238,24 +231,35 @@ def settled_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, int]
     return summary
 
 
-def kernel_summary(outcomes: list["BucketOutcome"]) -> dict[str, dict[str, float]]:
-    """Aggregate per-algorithm demand-kernel diagnostics over many shards.
+def kernel_summary(
+    since: dict[str, float] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-algorithm demand-kernel diagnostics from the obs registry.
 
-    Sums the ``qpa-accept`` / ``approx-accept`` / ``approx-reject`` settle
-    counters and folds the iteration totals into ``qpa-iter-mean`` (mean
-    backward fixed-point iterations per QPA search).  Shards without
-    kernel diagnostics (scalar pipeline, cache loads) contribute nothing —
-    this is the sweep-level report the ``--pipeline`` diagnostics and the
-    dbf-kernel benchmark print.
+    The batched shard runner records per-algorithm ``kernel.<algorithm>.
+    <counter>`` deltas into :data:`repro.obs.REGISTRY` (workers ship theirs
+    through the pool), and this folds them back into the report shape the
+    ``--pipeline`` diagnostics and the dbf-kernel benchmark print: the
+    ``qpa-accept`` / ``approx-accept`` / ``approx-reject`` settle counters,
+    with the run/iteration totals collapsed to ``qpa-iter-mean`` (mean
+    backward fixed-point iterations per QPA search).
+
+    The registry accumulates for the process lifetime; pass ``since`` (an
+    earlier ``REGISTRY.counters("kernel.")`` snapshot) to report only what
+    one run contributed.  Shards loaded from cache contribute nothing,
+    exactly as before the registry migration.
     """
+    from repro import obs as _obs
+
+    counters = _obs.REGISTRY.counters("kernel.")
+    baseline = since or {}
     summary: dict[str, dict[str, float]] = {}
-    for outcome in outcomes:
-        if not outcome.kernel:
+    for name, value in counters.items():
+        value -= baseline.get(name, 0)
+        if not value:
             continue
-        for name, counts in outcome.kernel.items():
-            into = summary.setdefault(name, {})
-            for key, value in counts.items():
-                into[key] = into.get(key, 0) + value
+        _, algorithm, key = name.split(".", 2)
+        summary.setdefault(algorithm, {})[key] = value
     for counts in summary.values():
         runs = counts.pop("qpa-runs", 0)
         iterations = counts.pop("qpa-iterations", 0)
@@ -389,6 +393,8 @@ class AcceptanceSweep:
         for field (the settling diagnostics ride along, excluded from
         equality-relevant consumers).
         """
+        from repro import obs as _obs
+        from repro.analysis.dbf import kernel_counters
         from repro.analysis.prefilter import default_prefilter_bank
         from repro.core.batch import partition_batch
 
@@ -397,7 +403,6 @@ class AcceptanceSweep:
         ratios: dict[str, float] = {}
         accepted: dict[str, int] = {}
         settled: dict[str, dict[str, int]] = {}
-        kernel: dict[str, dict[str, int]] = {}
         if len(batch):
             for algorithm in algorithms:
                 # A bank binds to one test instance; rebind on a fresh
@@ -406,6 +411,10 @@ class AcceptanceSweep:
                 if bank is None or not bank.serves(algorithm.test):
                     bank = default_prefilter_bank()
                     self._banks[algorithm.name] = bank
+                # Always-on (like the kernel counters themselves): the
+                # per-algorithm delta feeds kernel_summary() and the CLI
+                # --pipeline diagnostics, which predate the REPRO_OBS knob.
+                before = kernel_counters()
                 outcome = partition_batch(
                     batch,
                     cfg.m,
@@ -413,18 +422,27 @@ class AcceptanceSweep:
                     algorithm.strategy,
                     bank=bank,
                 )
+                delta = {
+                    key: value - before[key]
+                    for key, value in kernel_counters().items()
+                    if value != before[key]
+                }
+                if delta:
+                    _obs.REGISTRY.add_counters(
+                        {
+                            f"kernel.{algorithm.name}.{key}": value
+                            for key, value in delta.items()
+                        }
+                    )
                 accepted[algorithm.name] = outcome.accepted_count
                 ratios[algorithm.name] = outcome.accepted_count / len(batch)
                 settled[algorithm.name] = outcome.settled_counts()
-                if outcome.kernel_counts:
-                    kernel[algorithm.name] = outcome.kernel_counts
         return BucketOutcome(
             bucket=bucket,
             samples=len(batch),
             ratios=ratios,
             accepted=accepted or None,
             settled=settled or None,
-            kernel=kernel or None,
         )
 
     def run(self, algorithms: list[PartitionedAlgorithm]) -> SweepResult:

@@ -18,19 +18,23 @@ __all__ = [
 ]
 
 
-def render_sweep_diagnostics(outcomes: list) -> str:
+def render_sweep_diagnostics(outcomes: list, kernels: dict | None = None) -> str:
     """The batched pipeline's settled-by and demand-kernel report.
 
     One line per algorithm: how many task sets each settling mechanism
     decided (prefilters, ledger replay, full fallback) and the demand-
     kernel counters (screen/QPA settles, mean QPA iterations) accumulated
-    while the shards ran.  Empty string when the outcomes carry no
-    diagnostics (scalar pipeline, cache-loaded shards).
+    while the shards ran.  ``kernels`` is a
+    :func:`~repro.experiments.acceptance.kernel_summary` mapping; omit it
+    to read the whole obs registry (callers reporting a single run in a
+    long-lived process pass a baselined summary instead).  Empty string
+    when there are no diagnostics (scalar pipeline, cache-loaded shards).
     """
     from repro.experiments.acceptance import kernel_summary, settled_summary
 
     settled = settled_summary(outcomes)
-    kernels = kernel_summary(outcomes)
+    if kernels is None:
+        kernels = kernel_summary()
     if not settled and not kernels:
         return ""
     lines = ["pipeline diagnostics (settled-by | demand kernel):"]

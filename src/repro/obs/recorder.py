@@ -1,0 +1,137 @@
+"""Recorder protocol, span records and the nestable ``span()`` context.
+
+The recorder is the one switch the instrumented layers consult:
+
+* :class:`NullRecorder` (the default) — ``enabled`` is False, so every
+  instrumentation site reduces to a single attribute check and the hot
+  paths pay effectively nothing;
+* :class:`MetricsRecorder` — counters/gauges/histograms flow into the
+  registry, spans are still skipped;
+* :class:`TraceRecorder` — metrics plus :class:`SpanRecord` collection
+  for the Chrome-trace export.
+
+Span nesting is tracked per thread: each open span pushes its name on a
+thread-local stack, so records carry their depth and parent name — enough
+for ownership attribution in tables, while the Chrome trace gets nesting
+for free from timestamp containment on the same pid/tid row.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs import clock
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "TraceRecorder",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: monotonic wall time plus ownership attribution."""
+
+    name: str
+    start: float  #: monotonic seconds (comparable across forked workers)
+    duration: float
+    pid: int
+    tid: int
+    depth: int  #: 0 = top-level in its thread
+    parent: str | None  #: enclosing span's name, if any
+    attrs: dict = field(default_factory=dict)
+
+
+class Recorder:
+    """Base recorder: the injectable sink the instrumentation writes to.
+
+    ``registry`` is shared — all recorders write into the process registry
+    passed at construction (the global one by default), so swapping
+    recorders never loses accumulated metrics.
+    """
+
+    enabled = True
+    records_spans = False
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def record_span(self, record: SpanRecord) -> None:  # pragma: no cover
+        """Spans are dropped unless the recorder collects them."""
+
+
+class NullRecorder(Recorder):
+    """Recording off: instrumentation sites see ``enabled`` False and skip
+    all metric work; the always-on counter scopes still function."""
+
+    enabled = False
+
+
+class MetricsRecorder(Recorder):
+    """Metrics on, span collection off."""
+
+
+class TraceRecorder(MetricsRecorder):
+    """Metrics plus span collection (the ``trace`` mode)."""
+
+    records_spans = True
+
+    def __init__(self, registry: MetricsRegistry):
+        super().__init__(registry)
+        self.spans: list[SpanRecord] = []
+
+    def record_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+
+_STACK = threading.local()
+
+
+def _span_stack() -> list[str]:
+    stack = getattr(_STACK, "names", None)
+    if stack is None:
+        stack = _STACK.names = []
+    return stack
+
+
+@contextmanager
+def span_context(recorder: Recorder, name: str, attrs: dict):
+    """The implementation behind :func:`repro.obs.span`.
+
+    No-op (beyond one truthiness check) when the recorder does not collect
+    spans; otherwise times the block on the monotonic clock and records a
+    :class:`SpanRecord` on exit — also when the block raises, so a failing
+    shard still shows up in the trace with its true duration.
+    """
+    if not recorder.records_spans:
+        yield
+        return
+    stack = _span_stack()
+    depth = len(stack)
+    parent = stack[-1] if stack else None
+    stack.append(name)
+    start = clock.monotonic()
+    try:
+        yield
+    finally:
+        duration = clock.monotonic() - start
+        stack.pop()
+        recorder.record_span(
+            SpanRecord(
+                name=name,
+                start=start,
+                duration=duration,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=depth,
+                parent=parent,
+                attrs=attrs,
+            )
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.experiments.export import save_figure_result
 from repro.experiments.figures import FIGURES, PAPER_FIGURES, run_figure
 from repro.runner.cache import ShardCache
@@ -184,20 +185,23 @@ def run_campaign(
     cache = ShardCache(cache_dir if cache_dir is not None else out / "cache")
 
     report = CampaignReport(spec)
-    for job in spec.figures:
-        result = run_figure(
-            job.figure,
-            jobs=jobs,
-            cache=cache,
-            progress=progress,
-            pipeline=pipeline,
-            **job.run_kwargs(),
-        )
-        path = out / f"{job.key}.json"
-        save_figure_result(result, path)
-        report.outputs[job.key] = path
+    with obs.span("campaign", campaign=spec.name):
+        for job in spec.figures:
+            with obs.span("figure", figure=job.figure, key=job.key):
+                result = run_figure(
+                    job.figure,
+                    jobs=jobs,
+                    cache=cache,
+                    progress=progress,
+                    pipeline=pipeline,
+                    **job.run_kwargs(),
+                )
+            path = out / f"{job.key}.json"
+            save_figure_result(result, path)
+            report.outputs[job.key] = path
     if progress is not None:
         progress.finish()
+        progress.write_summary()
 
     report.shards_computed = cache.stored
     report.shards_cached = cache.hits

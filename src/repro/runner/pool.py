@@ -6,6 +6,15 @@ algorithm list, :func:`run_sweep` returns a result **bit-identical** to
 state, or the order workers finish in.  Determinism comes for free from
 the per-replicate RNG derivation (see :mod:`repro.util.rng`); this module
 only has to preserve unit identity and merge in bucket order.
+
+Observability rides the same wire: every pool worker clears the process
+:data:`repro.obs.REGISTRY` before a unit and ships its contribution back
+next to the outcome (:func:`repro.obs.capture_payload`), and the parent
+folds payloads in associatively — so counters, histograms and (under
+``REPRO_OBS=trace``) spans survive multiprocessing with the same totals a
+serial run reports.  Payloads are always shipped, because the demand-kernel
+counters behind the CLI ``--pipeline`` diagnostics predate the ``REPRO_OBS``
+knob and must keep working with it off; everything gated stays near-free.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ import multiprocessing
 import os
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
+from repro.obs import clock
 from repro.experiments.acceptance import (
     BucketOutcome,
     SweepConfig,
@@ -41,6 +52,34 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context("spawn")
+
+
+def _timed_unit(unit: WorkUnit) -> BucketOutcome:
+    """Run one unit under a ``shard`` span, feeding the latency histogram.
+
+    On Linux ``fork`` workers CLOCK_MONOTONIC is system-wide, so worker
+    span timestamps land on the same trace axis as the parent's.
+    """
+    start = clock.monotonic()
+    with obs.span(
+        "shard", label=unit.config.label, m=unit.config.m, bucket=unit.bucket
+    ):
+        outcome = run_unit(unit)
+    if obs.active():
+        obs.REGISTRY.observe("runner.shard-seconds", clock.monotonic() - start)
+    return outcome
+
+
+def _run_unit_observed(unit: WorkUnit) -> tuple[BucketOutcome, dict]:
+    """Pool-worker entry point: the outcome plus this unit's obs payload.
+
+    Clearing first makes the payload exactly the unit's contribution, so
+    the parent can absorb payloads in any completion order without double
+    counting (registry merge is associative and commutative).
+    """
+    obs.clear()
+    outcome = _timed_unit(unit)
+    return outcome, obs.capture_payload()
 
 
 def execute_units(
@@ -78,15 +117,36 @@ def execute_units(
 
     if jobs > 1 and len(pending) > 1:
         workers = min(jobs, len(pending))
+        busy = 0.0
+        started = clock.monotonic()
         with _pool_context().Pool(processes=workers) as pool:
-            computed = pool.imap(run_unit, [units[i] for i in pending], chunksize=1)
-            for idx, outcome in zip(pending, computed):
+            computed = pool.imap(
+                _run_unit_observed, [units[i] for i in pending], chunksize=1
+            )
+            for idx, (outcome, payload) in zip(pending, computed):
+                busy += _payload_busy_seconds(payload)
+                obs.absorb_payload(payload)
                 record(idx, outcome)
+        if obs.active():
+            wall = clock.monotonic() - started
+            if wall > 0:
+                obs.REGISTRY.set_gauge(
+                    "runner.worker-utilization",
+                    min(1.0, busy / (workers * wall)),
+                )
     else:
         for idx in pending:
-            record(idx, run_unit(units[idx]))
+            record(idx, _timed_unit(units[idx]))
 
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _payload_busy_seconds(payload: dict) -> float:
+    """Worker-side shard seconds carried by one obs payload (0.0 when the
+    worker recorded none, i.e. recording is off)."""
+    histograms = payload.get("registry", {}).get("histograms", {})
+    state = histograms.get("runner.shard-seconds")
+    return float(state["total"]) if state else 0.0
 
 
 def run_sweep(
@@ -105,14 +165,17 @@ def run_sweep(
     per-taskset ``"scalar"``); results and cache identities are the same
     either way — see :mod:`repro.experiments.acceptance`.  When a
     ``diagnostics`` list is passed, the raw per-bucket outcomes are
-    appended to it so callers can render the settled-by / demand-kernel
-    reports (:func:`~repro.experiments.acceptance.settled_summary`,
-    :func:`~repro.experiments.acceptance.kernel_summary`) without
-    affecting the merged result or the cache identity.
+    appended to it so callers can render the settled-by report
+    (:func:`~repro.experiments.acceptance.settled_summary`); the demand-
+    kernel half (:func:`~repro.experiments.acceptance.kernel_summary`)
+    reads the obs registry, which the shard runs populate either way.
     """
     names = list(algorithm_names)
     units = decompose_sweep(config, names, pipeline=pipeline)
-    outcomes = execute_units(units, jobs=jobs, cache=cache, progress=progress)
+    with obs.span("sweep", label=config.label, m=config.m):
+        outcomes = execute_units(
+            units, jobs=jobs, cache=cache, progress=progress
+        )
     if diagnostics is not None:
         diagnostics.extend(outcomes)
     return merge_outcomes(config, names, outcomes)

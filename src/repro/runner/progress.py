@@ -12,8 +12,9 @@ fake clock and a ``StringIO``.
 from __future__ import annotations
 
 import sys
-import time
 from typing import Callable, TextIO
+
+from repro.obs import clock as _clock
 
 __all__ = ["ProgressReporter", "format_eta"]
 
@@ -44,7 +45,7 @@ class ProgressReporter:
         stream: TextIO | None = None,
         label: str = "run",
         min_interval: float = 0.2,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = _clock.monotonic,
     ):
         self._stream = stream if stream is not None else sys.stderr
         self.label = label
@@ -78,6 +79,26 @@ class ProgressReporter:
         self._stream.flush()
 
     # -- rendering --------------------------------------------------------------
+    def elapsed_seconds(self) -> float:
+        """Wall time (monotonic) since the first ``add_total``."""
+        return 0.0 if self._started is None else self._clock() - self._started
+
+    def summary_line(self) -> str:
+        """Final one-line wall-time summary for the whole run."""
+        shard_word = "shard" if self.completed == 1 else "shards"
+        line = (
+            f"{self.label}: {self.completed} {shard_word} in "
+            f"{format_eta(self.elapsed_seconds())}"
+        )
+        if self.cached:
+            line += f" ({self.cached} from cache)"
+        return line
+
+    def write_summary(self) -> None:
+        """Emit :meth:`summary_line` on the stream (after :meth:`finish`)."""
+        self._stream.write(self.summary_line() + "\n")
+        self._stream.flush()
+
     def eta_seconds(self) -> float | None:
         """Estimated remaining seconds, or ``None`` before any signal."""
         if self._started is None or self.completed == 0:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.model import MCTask, TaskSet
+from repro import obs as _obs
 from repro.sim.policies import SchedulingPolicy
 from repro.sim.scenario import Scenario
 from repro.sim.trace import ExecutionTrace
@@ -301,4 +302,15 @@ class UniprocessorSim:
                 switch_to_high(time)
 
         record_misses(min(time, horizon))
+        if _obs.active():
+            _obs.REGISTRY.add_counters(
+                {
+                    "sim.runs": 1,
+                    "sim.preemptions": result.preemptions,
+                    "sim.mode-switches": len(result.mode_switches),
+                    "sim.idle-resets": result.idle_resets,
+                    "sim.jobs-released": result.jobs_released,
+                    "sim.jobs-completed": result.jobs_completed,
+                }
+            )
         return result

@@ -4,7 +4,12 @@ These helpers are deliberately dependency-light; every other subpackage may
 import from here without creating cycles.
 """
 
-from repro.util.env import m_values_from_env, positive_int_env, samples_from_env
+from repro.util.env import (
+    m_values_from_env,
+    obs_mode_from_env,
+    positive_int_env,
+    samples_from_env,
+)
 from repro.util.intmath import (
     ceil_div,
     floor_div,
@@ -27,4 +32,5 @@ __all__ = [
     "positive_int_env",
     "samples_from_env",
     "m_values_from_env",
+    "obs_mode_from_env",
 ]

@@ -13,6 +13,13 @@ Two more tune the demand kernel of :mod:`repro.analysis.dbf`:
   style dbf upper-bound screens (default 3); the screens stay sound for
   every positive ``k``, larger values trade screen cost for coverage.
 
+And one selects the observability recorder of :mod:`repro.obs`:
+
+* ``REPRO_OBS`` — ``off`` (default, null recorder), ``metrics``
+  (counters/gauges/histograms) or ``trace`` (metrics plus tracing spans
+  for the Chrome-trace export).  Recording never changes results — it
+  only decides what diagnostics are collected alongside them.
+
 This module is the single parsing/validation point; the figure defaults,
 the benchmark harness and the analysis kernel all delegate here so a
 malformed knob fails the same way everywhere.
@@ -28,7 +35,11 @@ __all__ = [
     "m_values_from_env",
     "scan_chunk_from_env",
     "approx_k_from_env",
+    "obs_mode_from_env",
 ]
+
+#: Valid ``REPRO_OBS`` values, in increasing collection order.
+OBS_MODES = ("off", "metrics", "trace")
 
 
 def positive_int_env(name: str, fallback: int) -> int:
@@ -62,6 +73,23 @@ def scan_chunk_from_env(fallback: int = 4096) -> int:
 def approx_k_from_env(fallback: int = 3) -> int:
     """Approximation-screen depth ``k``: ``REPRO_DBF_APPROX_K`` or ``fallback``."""
     return positive_int_env("REPRO_DBF_APPROX_K", fallback)
+
+
+def obs_mode_from_env(fallback: str = "off") -> str:
+    """Observability mode: ``REPRO_OBS`` or ``fallback``.
+
+    Accepts exactly ``off``, ``metrics`` or ``trace``; anything else
+    raises :class:`ValueError` — a typo must not silently disable the
+    diagnostics a run was supposed to collect.
+    """
+    raw = os.environ.get("REPRO_OBS", "")
+    if not raw:
+        return fallback
+    if raw not in OBS_MODES:
+        raise ValueError(
+            f"REPRO_OBS must be one of {'|'.join(OBS_MODES)}, got {raw!r}"
+        )
+    return raw
 
 
 def m_values_from_env(fallback: tuple[int, ...] = (2, 4, 8)) -> tuple[int, ...]:

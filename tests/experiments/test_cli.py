@@ -110,13 +110,19 @@ class TestSimulate:
 
 
 class TestFigure:
-    def test_tiny_figure_run(self, capsys):
+    def test_tiny_figure_run(self, capsys, tmp_path, monkeypatch):
+        # run in tmp so an ambient REPRO_OBS=trace writes its default
+        # BENCH_obs.json/repro-trace.json here, not over committed files
+        monkeypatch.chdir(tmp_path)
         code = main(["figure", "fig3", "--samples", "1", "--m", "2"])
         assert code == 0
         out = capsys.readouterr().out
         assert "cu-udp-edf-vd" in out
 
-    def test_parallel_run_with_cache_and_output(self, capsys, tmp_path):
+    def test_parallel_run_with_cache_and_output(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
         args = [
             "figure", "fig3", "--samples", "2", "--m", "2",
             "--jobs", "2",
@@ -129,6 +135,51 @@ class TestFigure:
         # rerun answers from cache and renders the same tables
         assert main(args) == 0
         assert capsys.readouterr().out == serial_out
+
+
+class TestTrace:
+    def test_trace_writes_snapshot_and_chrome_trace(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro import obs
+
+        monkeypatch.chdir(tmp_path)
+        code = main(["trace", "fig3", "--samples", "1", "--m", "2"])
+        obs.clear()  # the forced recorder fed the process-global registry
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "obs counters" in out and "obs spans" in out
+
+        snapshot = json.loads((tmp_path / "BENCH_obs.json").read_text())
+        assert snapshot["schema"].startswith("repro-obs-snapshot/")
+        assert snapshot["mode"] == "trace"
+        # a batched fig3 settles via the prefilter ledger; every shard
+        # also lands one latency observation
+        assert any(k.startswith("prefilter.") for k in snapshot["counters"])
+        assert "runner.shard-seconds" in snapshot["histograms"]
+        assert snapshot["spans"]["count"] > 0
+
+        trace = json.loads((tmp_path / "repro-trace.json").read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"sweep", "shard"} <= names
+
+    def test_explicit_output_paths(self, capsys, tmp_path, monkeypatch):
+        from repro import obs
+
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "trace", "fig3", "--samples", "1", "--m", "2",
+                "--trace-out", str(tmp_path / "t.json"),
+                "--obs-out", str(tmp_path / "o.json"),
+            ]
+        )
+        obs.clear()
+        assert code == 0
+        capsys.readouterr()
+        assert (tmp_path / "t.json").exists()
+        assert (tmp_path / "o.json").exists()
+        assert not (tmp_path / "BENCH_obs.json").exists()
 
 
 class TestCampaign:

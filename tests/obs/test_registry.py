@@ -1,0 +1,139 @@
+"""MetricsRegistry and Histogram: quantile bounds, scopes, merge algebra."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.registry import QUANTILES
+
+
+def exact_quantile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestHistogramQuantiles:
+    def test_empty_is_none(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        assert h.summary()["p50"] is None
+
+    def test_single_sample_every_quantile(self):
+        h = Histogram()
+        h.observe(7.25)
+        for q in QUANTILES:
+            assert h.quantile(q) == pytest.approx(7.25)
+
+    def test_quantile_within_one_bucket_ratio(self):
+        # The documented invariant: exact <= reported <= exact * BASE,
+        # across scales spanning many octaves.
+        rng = random.Random(1234)
+        samples = [rng.lognormvariate(0, 3) for _ in range(1000)]
+        h = Histogram()
+        for v in samples:
+            h.observe(v)
+        for q in QUANTILES:
+            exact = exact_quantile(samples, q)
+            reported = h.quantile(q)
+            assert exact <= reported <= exact * Histogram.BASE + 1e-12
+
+    def test_nonpositive_bucket(self):
+        h = Histogram()
+        for v in (-1.0, 0.0, 5.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 0.0  # rank 2 of 3 falls in the underflow
+        assert h.count == 3 and h.nonpos == 2
+        assert h.vmin == -1.0 and h.vmax == 5.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe(10.0)
+        h.observe(1000.0)
+        assert h.quantile(0.0) >= 1.0
+        assert h.quantile(1.0) <= 1000.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_merge_equals_streaming(self):
+        rng = random.Random(7)
+        samples = [rng.uniform(0.001, 50.0) for _ in range(400)]
+        whole = Histogram()
+        for v in samples:
+            whole.observe(v)
+        a, b = Histogram(), Histogram()
+        for v in samples[:150]:
+            a.observe(v)
+        for v in samples[150:]:
+            b.observe(v)
+        a.merge_state(b.state())
+        assert a.state() == whole.state()
+
+
+class TestRegistry:
+    def test_counters_and_prefix_filter(self):
+        r = MetricsRegistry()
+        r.add("a.x")
+        r.add("a.y", 4)
+        r.add("b.z")
+        assert r.counters("a.") == {"a.x": 1, "a.y": 4}
+
+    def test_counter_scope_is_live_and_survives_reset(self):
+        r = MetricsRegistry()
+        scope = r.counter_scope("dbf", ("hits",))
+        scope["hits"] += 3
+        assert r.counters()["dbf.hits"] == 3
+        r.reset()
+        # same dict object, zeroed in place — hot-path references stay valid
+        assert scope["hits"] == 0
+        scope["hits"] += 1
+        assert r.counters()["dbf.hits"] == 1
+
+    def test_scope_and_plain_counter_sum_on_collision(self):
+        r = MetricsRegistry()
+        r.counter_scope("k", ("n",))["n"] = 2
+        r.add("k.n", 5)  # e.g. a merged worker snapshot
+        assert r.counters()["k.n"] == 7
+
+    def test_gauges_last_write_wins(self):
+        r = MetricsRegistry()
+        r.set_gauge("g", 1.0)
+        r.merge({"gauges": {"g": 2.5}})
+        assert r.gauges() == {"g": 2.5}
+
+    def test_merge_is_associative_and_commutative(self):
+        def make(seed):
+            r = MetricsRegistry()
+            rng = random.Random(seed)
+            for _ in range(50):
+                r.add(f"c{rng.randrange(3)}", rng.randrange(5))
+                r.observe("h", rng.uniform(0.01, 10.0))
+            return r
+
+        snaps = [make(seed).snapshot() for seed in (1, 2, 3)]
+
+        def folded(order):
+            r = MetricsRegistry()
+            for i in order:
+                r.merge(snaps[i])
+            return r.snapshot()
+
+        import itertools
+
+        results = [folded(order) for order in itertools.permutations(range(3))]
+        assert all(res == results[0] for res in results)
+
+    def test_snapshot_roundtrip_through_merge(self):
+        r = MetricsRegistry()
+        r.add("c", 2)
+        r.set_gauge("g", 0.5)
+        r.observe("h", 3.0)
+        other = MetricsRegistry()
+        other.merge(r.snapshot())
+        assert other.snapshot() == r.snapshot()

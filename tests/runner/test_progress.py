@@ -77,6 +77,39 @@ class TestReporter:
         assert "1/1 shards" in text
         assert "done in" in text
 
+    def test_elapsed_seconds_tracks_clock(self):
+        reporter, _, clock = make()
+        assert reporter.elapsed_seconds() == 0.0  # before any work
+        reporter.add_total(1)
+        clock.now = 7.5
+        assert reporter.elapsed_seconds() == 7.5
+
+    def test_summary_line_wall_time_and_cache(self):
+        reporter, _, clock = make(label="campaign")
+        reporter.add_total(3)
+        clock.now = 190.0
+        for cached in (False, True, True):
+            reporter.unit_done(cached=cached)
+        assert reporter.summary_line() == (
+            "campaign: 3 shards in 3m10s (2 from cache)"
+        )
+
+    def test_summary_line_singular_shard_no_cache_suffix(self):
+        reporter, _, clock = make(label="fig4")
+        reporter.add_total(1)
+        clock.now = 42.0
+        reporter.unit_done()
+        assert reporter.summary_line() == "fig4: 1 shard in 42s"
+
+    def test_write_summary_appends_line(self):
+        reporter, stream, clock = make()
+        reporter.add_total(1)
+        clock.now = 1.0
+        reporter.unit_done()
+        reporter.finish()
+        reporter.write_summary()
+        assert stream.getvalue().endswith(reporter.summary_line() + "\n")
+
     def test_render_throttled_by_min_interval(self):
         clock = FakeClock()
         stream = io.StringIO()

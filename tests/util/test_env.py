@@ -3,8 +3,10 @@
 import pytest
 
 from repro.util.env import (
+    OBS_MODES,
     approx_k_from_env,
     m_values_from_env,
+    obs_mode_from_env,
     positive_int_env,
     samples_from_env,
     scan_chunk_from_env,
@@ -61,6 +63,23 @@ class TestDbfKernelKnobs:
 
         assert dbf._SCAN_CHUNK == scan_chunk_from_env()
         assert dbf._APPROX_K == approx_k_from_env()
+
+
+class TestObsMode:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert obs_mode_from_env() == "off"
+
+    @pytest.mark.parametrize("mode", OBS_MODES)
+    def test_parses_every_mode(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_OBS", mode)
+        assert obs_mode_from_env() == mode
+
+    @pytest.mark.parametrize("bad", ["on", "TRACE", "metrics,trace", "1"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_OBS", bad)
+        with pytest.raises(ValueError, match="REPRO_OBS"):
+            obs_mode_from_env()
 
 
 class TestMValues:
