@@ -125,6 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard cache directory; reruns resume instead of recomputing",
     )
     figure.add_argument(
+        "--backend",
+        choices=("serial", "pool", "cluster"),
+        default=None,
+        help=(
+            "executor backend (default: REPRO_RUNNER_BACKEND, else serial "
+            "for --jobs 1 and pool otherwise); 'cluster' adds work-stealing "
+            "with heartbeat/lease fault recovery — results are identical"
+        ),
+    )
+    figure.add_argument(
+        "--store",
+        choices=("fs", "object"),
+        default=None,
+        help=(
+            "shard-store layout under --cache-dir (default: "
+            "REPRO_RUNNER_STORE, else fs); 'object' is the flat "
+            "content-keyed bucket multiple hosts can share"
+        ),
+    )
+    figure.add_argument(
         "-o", "--output", default=None, help="also save the result JSON here"
     )
     figure.add_argument(
@@ -187,6 +207,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard cache directory (default: <out>/cache)",
     )
     campaign.add_argument(
+        "--backend",
+        choices=("serial", "pool", "cluster"),
+        default=None,
+        help=(
+            "executor backend (default: REPRO_RUNNER_BACKEND, else serial "
+            "for --jobs 1 and pool otherwise); 'cluster' adds work-stealing "
+            "with heartbeat/lease fault recovery — results are identical"
+        ),
+    )
+    campaign.add_argument(
+        "--store",
+        choices=("fs", "object"),
+        default=None,
+        help=(
+            "shard-store layout (default: REPRO_RUNNER_STORE, else fs); "
+            "'object' is the flat content-keyed bucket multiple hosts can "
+            "share via --cache-dir on common storage"
+        ),
+    )
+    campaign.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the live progress line",
@@ -222,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--pipeline", choices=("batched", "scalar"), default="batched"
+    )
+    trace.add_argument(
+        "--backend",
+        choices=("serial", "pool", "cluster"),
+        default=None,
+        help="executor backend (default: REPRO_RUNNER_BACKEND, else auto)",
     )
     trace.add_argument(
         "--trace-out",
@@ -379,12 +425,14 @@ def _cmd_figure(args) -> int:
     from repro.experiments.acceptance import kernel_summary
     from repro.experiments.export import save_figure_result
     from repro.experiments.report import render_figure, render_sweep_diagnostics
-    from repro.runner import ProgressReporter, ShardCache
+    from repro.runner import ProgressReporter, create_store
+    from repro.util.env import runner_store_from_env
 
     kwargs = {}
     if args.m:
         kwargs["m_values"] = tuple(int(v) for v in args.m.split(","))
-    cache = ShardCache(args.cache_dir) if args.cache_dir else None
+    store_kind = args.store if args.store else runner_store_from_env()
+    cache = create_store(store_kind, args.cache_dir) if args.cache_dir else None
     progress = ProgressReporter(label=args.name) if args.progress else None
     diagnostics: list = []
     # The registry is cumulative per process; a baseline keeps the printed
@@ -398,6 +446,7 @@ def _cmd_figure(args) -> int:
         cache=cache,
         progress=progress,
         pipeline=args.pipeline,
+        backend=args.backend,
         diagnostics=diagnostics,
         **kwargs,
     )
@@ -430,6 +479,7 @@ def _cmd_trace(args) -> int:
             samples=args.samples,
             jobs=_resolve_jobs(args.jobs),
             pipeline=args.pipeline,
+            backend=args.backend,
             **kwargs,
         )
         table = obs.render_table(obs.REGISTRY, obs.spans())
@@ -476,6 +526,8 @@ def _cmd_campaign(args) -> int:
         cache_dir=args.cache_dir,
         progress=progress,
         pipeline=args.pipeline,
+        backend=args.backend,
+        store=args.store,
     )
     figure_word = "figure" if len(report.outputs) == 1 else "figures"
     print(

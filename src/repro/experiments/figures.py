@@ -241,6 +241,7 @@ def _run_plan(
     cache,
     progress,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     # Imported lazily: repro.runner depends on this module for plans.
@@ -255,6 +256,7 @@ def _run_plan(
             cache=cache,
             progress=progress,
             pipeline=pipeline,
+            backend=backend,
             diagnostics=diagnostics,
         )
         result.sweeps[job.key] = sweep
@@ -274,11 +276,12 @@ def fig3(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 3: implicit deadlines, EDF-VD algorithms (speed-up bound 8/3)."""
     plan = figure_plan("fig3", samples, m_values=m_values)
-    return _run_plan("fig3", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig3", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig4(
@@ -289,11 +292,12 @@ def fig4(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 4: implicit deadlines, algorithms without a speed-up bound."""
     plan = figure_plan("fig4", samples, m_values=m_values)
-    return _run_plan("fig4", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig4", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig5(
@@ -304,11 +308,12 @@ def fig5(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 5: constrained deadlines, algorithms without a speed-up bound."""
     plan = figure_plan("fig5", samples, m_values=m_values)
-    return _run_plan("fig5", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig5", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig6a(
@@ -320,11 +325,12 @@ def fig6a(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 6a: WAR vs PH, implicit deadlines, EDF-VD algorithms."""
     plan = figure_plan("fig6a", samples, ph_values=ph_values, m_values=m_values)
-    return _run_plan("fig6a", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig6a", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig6b(
@@ -336,11 +342,12 @@ def fig6b(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 6b: WAR vs PH, constrained deadlines, AMC/ECDF vs EY."""
     plan = figure_plan("fig6b", samples, ph_values=ph_values, m_values=m_values)
-    return _run_plan("fig6b", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig6b", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig7a(
@@ -352,11 +359,12 @@ def fig7a(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 7a (extension): acceptance/WAR vs imprecise budget ratio rho."""
     plan = figure_plan("fig7a", samples, deg_values=deg_values, m_values=m_values)
-    return _run_plan("fig7a", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig7a", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 def fig7b(
@@ -368,11 +376,12 @@ def fig7b(
     cache=None,
     progress=None,
     pipeline: str = "batched",
+    backend=None,
     diagnostics: list | None = None,
 ) -> FigureResult:
     """Figure 7b (extension): acceptance/WAR vs elastic period stretch lambda."""
     plan = figure_plan("fig7b", samples, deg_values=deg_values, m_values=m_values)
-    return _run_plan("fig7b", plan, jobs, cache, progress, pipeline, diagnostics)
+    return _run_plan("fig7b", plan, jobs, cache, progress, pipeline, backend, diagnostics)
 
 
 FIGURES = {
@@ -394,7 +403,7 @@ def run_figure(name: str, samples: int | None = None, **kwargs) -> FigureResult:
     """Dispatch by figure name (``fig3`` ... ``fig6b``).
 
     Accepts the same keyword arguments as the figure functions, including
-    the runner options ``jobs``, ``cache`` and ``progress``.
+    the runner options ``jobs``, ``cache``, ``progress`` and ``backend``.
     """
     try:
         runner = FIGURES[name]

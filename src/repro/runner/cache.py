@@ -1,152 +1,32 @@
-"""Content-addressed on-disk cache for sweep shards.
+"""Back-compat shim: the shard cache grew into :mod:`repro.runner.store`.
 
-Each :class:`~repro.runner.units.WorkUnit` is keyed by a SHA-256 over its
-canonical JSON description (full sweep config + bucket + algorithm names +
-shard format version), so
-
-* an interrupted campaign resumes exactly where it stopped — finished
-  shards are loaded, unfinished ones recomputed;
-* re-rendering a figure from an existing cache recomputes nothing;
-* any change to the config schema or shard format bumps the key/version
-  and transparently invalidates stale entries.
-
-Robustness over cleverness: a shard file that is missing, truncated,
-corrupted, version-skewed or otherwise suspicious is treated as a miss and
-recomputed — the cache can never poison a result.  Writes are atomic
-(temp file + ``os.replace``) so a killed campaign cannot leave a partial
-shard that later loads.
+PR 1 named the content-addressed filesystem layout ``ShardCache``; the
+fabric refactor promoted it behind the :class:`~repro.runner.store.
+ShardStore` interface as :class:`~repro.runner.store.FsStore` and added
+the flat :class:`~repro.runner.store.ObjectStore` layout next to it.
+Everything historical keeps importing from here unchanged.
 """
 
-from __future__ import annotations
+from repro.runner.store import (  # noqa: F401  (re-exported surface)
+    SHARD_FORMAT_VERSION,
+    FsStore,
+    ObjectStore,
+    ShardCache,
+    ShardStore,
+    create_store,
+    encode_outcome,
+    unit_describe,
+    unit_key,
+)
 
-import hashlib
-import json
-import os
-from pathlib import Path
-from typing import Any
-
-from repro.experiments.acceptance import BucketOutcome
-from repro.experiments.export import sweep_config_to_dict
-from repro.runner.units import WorkUnit
-
-__all__ = ["SHARD_FORMAT_VERSION", "ShardCache"]
-
-#: Bump whenever the shard payload layout *or* the semantics of the
-#: computation behind it change; old cache entries then miss cleanly.
-SHARD_FORMAT_VERSION = 1
-
-
-class ShardCache:
-    """Directory of ``<key-prefix>/<key>.json`` shard files plus hit stats.
-
-    Statistics (``hits``, ``misses``, ``rejected``, ``stored``) accumulate
-    over the cache's lifetime; campaign reports read them to prove a
-    resumed run recomputed nothing.
-    """
-
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.hits = 0  #: shards served from disk
-        self.misses = 0  #: shards absent (includes rejected ones)
-        self.rejected = 0  #: shards present but corrupt/invalid
-        self.stored = 0  #: shards written
-
-    # -- keying -----------------------------------------------------------------
-    def describe(self, unit: WorkUnit) -> dict[str, Any]:
-        """The canonical (JSON-stable) identity of a unit."""
-        return {
-            "format_version": SHARD_FORMAT_VERSION,
-            "config": sweep_config_to_dict(unit.config),
-            "bucket": unit.bucket,
-            "algorithms": list(unit.algorithms),
-        }
-
-    def key(self, unit: WorkUnit) -> str:
-        """Stable content hash of a unit's full configuration."""
-        canonical = json.dumps(self.describe(unit), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-    def shard_path(self, unit: WorkUnit) -> Path:
-        """Where this unit's shard lives (two-level fan-out à la git)."""
-        key = self.key(unit)
-        return self.root / key[:2] / f"{key}.json"
-
-    # -- load/store -------------------------------------------------------------
-    def load(self, unit: WorkUnit) -> BucketOutcome | None:
-        """The cached outcome for ``unit``, or ``None`` on any doubt."""
-        path = self.shard_path(unit)
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except OSError:
-            self.misses += 1
-            return None
-        try:
-            outcome = self._parse(unit, raw)
-        except (ValueError, TypeError, KeyError):
-            # Truncated write, manual edit, version skew, hash collision on
-            # the file name — all indistinguishable, all safely recomputed.
-            self.rejected += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return outcome
-
-    def store(self, unit: WorkUnit, outcome: BucketOutcome) -> Path:
-        """Atomically persist one computed shard."""
-        path = self.shard_path(unit)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "key": self.key(unit),
-            "unit": self.describe(unit),
-            "bucket": outcome.bucket,
-            "samples": outcome.samples,
-            "ratios": outcome.ratios,
-        }
-        if outcome.accepted is not None:
-            # Columnar acceptance counts (batched pipeline): diagnostic
-            # payload, optional on load so pre-batch shards keep hitting.
-            payload["accepted"] = outcome.accepted
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
-        self.stored += 1
-        return path
-
-    # -- validation -------------------------------------------------------------
-    def _parse(self, unit: WorkUnit, raw: str) -> BucketOutcome:
-        data = json.loads(raw)
-        if not isinstance(data, dict):
-            raise ValueError("shard payload is not an object")
-        if data.get("key") != self.key(unit):
-            raise ValueError("shard key mismatch")
-        if data.get("unit") != self.describe(unit):
-            raise ValueError("shard unit description mismatch")
-        bucket = data["bucket"]
-        samples = data["samples"]
-        ratios = data["ratios"]
-        if bucket != unit.bucket:
-            raise ValueError("shard bucket mismatch")
-        if not isinstance(samples, int) or samples < 0:
-            raise ValueError(f"invalid sample count {samples!r}")
-        if not isinstance(ratios, dict):
-            raise ValueError("ratios is not a mapping")
-        expected = set(unit.algorithms) if samples else set()
-        if set(ratios) != expected:
-            raise ValueError("ratios cover the wrong algorithm set")
-        for name, value in ratios.items():
-            if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
-                raise ValueError(f"ratio {name}={value!r} out of range")
-        accepted = data.get("accepted")
-        if accepted is not None:
-            if not isinstance(accepted, dict) or set(accepted) != set(ratios):
-                raise ValueError("accepted counts cover the wrong algorithms")
-            for name, count in accepted.items():
-                if not isinstance(count, int) or not 0 <= count <= samples:
-                    raise ValueError(f"accepted {name}={count!r} out of range")
-            accepted = {name: int(count) for name, count in accepted.items()}
-        return BucketOutcome(
-            bucket=bucket,
-            samples=samples,
-            ratios={name: float(value) for name, value in ratios.items()},
-            accepted=accepted,
-        )
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "ShardCache",
+    "ShardStore",
+    "FsStore",
+    "ObjectStore",
+    "create_store",
+    "encode_outcome",
+    "unit_describe",
+    "unit_key",
+]

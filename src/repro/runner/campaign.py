@@ -19,8 +19,10 @@ from typing import Any
 from repro import obs
 from repro.experiments.export import save_figure_result
 from repro.experiments.figures import FIGURES, PAPER_FIGURES, run_figure
-from repro.runner.cache import ShardCache
+from repro.runner.executor import ExecutorBackend
 from repro.runner.progress import ProgressReporter
+from repro.runner.store import create_store
+from repro.util.env import runner_backend_from_env, runner_store_from_env
 
 __all__ = ["FigureJob", "CampaignSpec", "CampaignReport", "run_campaign"]
 
@@ -153,6 +155,8 @@ class CampaignReport:
     outputs: dict[str, Path] = field(default_factory=dict)
     shards_computed: int = 0
     shards_cached: int = 0
+    backend: str = "auto"
+    store: str = "fs"
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -160,6 +164,8 @@ class CampaignReport:
             "outputs": {key: str(path) for key, path in self.outputs.items()},
             "shards_computed": self.shards_computed,
             "shards_cached": self.shards_cached,
+            "backend": self.backend,
+            "store": self.store,
         }
 
 
@@ -171,20 +177,34 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     progress: ProgressReporter | None = None,
     pipeline: str = "batched",
+    backend: "str | ExecutorBackend | None" = None,
+    store: str | None = None,
 ) -> CampaignReport:
     """Execute ``spec``, writing one ``<key>.json`` per figure job.
 
-    The shard cache defaults to ``<out_dir>/cache`` so simply re-running
+    The shard store defaults to ``<out_dir>/cache`` so simply re-running
     the same command resumes/finishes an interrupted campaign; point
-    ``cache_dir`` at shared storage to pool shards across campaigns.
-    ``pipeline`` selects the shard execution path (columnar ``"batched"``
-    by default); outputs and cache shards are identical either way.
+    ``cache_dir`` at shared storage to pool shards across campaigns and
+    hosts.  ``pipeline`` selects the shard execution path (columnar
+    ``"batched"`` by default), ``backend`` the executor (``serial`` /
+    ``pool`` / ``cluster``; default consults ``REPRO_RUNNER_BACKEND``)
+    and ``store`` the shard-store layout (``fs`` / ``object``; default
+    consults ``REPRO_RUNNER_STORE``) — outputs and shard payloads are
+    identical under every combination.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    cache = ShardCache(cache_dir if cache_dir is not None else out / "cache")
+    store_kind = store if store is not None else runner_store_from_env()
+    cache = create_store(
+        store_kind, cache_dir if cache_dir is not None else out / "cache"
+    )
 
     report = CampaignReport(spec)
+    if isinstance(backend, ExecutorBackend):
+        report.backend = backend.name
+    else:
+        report.backend = backend or runner_backend_from_env("") or "auto"
+    report.store = store_kind
     with obs.span("campaign", campaign=spec.name):
         for job in spec.figures:
             with obs.span("figure", figure=job.figure, key=job.key):
@@ -194,6 +214,7 @@ def run_campaign(
                     cache=cache,
                     progress=progress,
                     pipeline=pipeline,
+                    backend=backend,
                     **job.run_kwargs(),
                 )
             path = out / f"{job.key}.json"

@@ -1,0 +1,356 @@
+"""Executor backends: the compute half of the campaign fabric.
+
+One :class:`ExecutorBackend` turns a submitted batch of
+:class:`~repro.runner.units.WorkUnit` shards into a stream of
+:class:`UnitResult`\\ s.  The protocol is deliberately tiny —
+``submit`` / ``as_completed`` / ``shutdown`` — and the contract is
+absolute: **every backend yields the same outcomes**, because a unit's
+outcome is a pure function of the unit (see :mod:`repro.runner.units`);
+backends only decide *where* and *with what fault tolerance* units run.
+
+* :class:`SerialBackend` — in-process, in order; no pickling, no
+  subprocesses.  The reference all other backends are verified against.
+* :class:`ProcessPoolBackend` — the classic ``multiprocessing`` fork
+  pool (PR 1's execution path, behavior-preserving).  A unit that raises
+  surfaces as a typed :class:`WorkerCrashError` instead of a raw
+  traceback bubbling out of ``imap``.
+* :class:`~repro.runner.cluster.ClusterBackend` — work-stealing queue
+  over independent worker subprocesses with lease-based claims,
+  heartbeat liveness and re-dispatch of units lost to killed or hung
+  workers (its own module).
+
+Observability rides the same wire as before the fabric existed: every
+out-of-process worker clears the process :data:`repro.obs.REGISTRY`
+before a unit and ships its contribution back next to the outcome
+(:func:`repro.obs.capture_payload`); the caller folds payloads in
+associatively, so counters, histograms and (under ``REPRO_OBS=trace``)
+spans survive any backend with the same totals a serial run reports.
+Payloads are always shipped, because the demand-kernel counters behind
+the CLI ``--pipeline`` diagnostics predate the ``REPRO_OBS`` knob and
+must keep working with it off; everything gated stays near-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro import obs
+from repro.obs import clock
+from repro.experiments.acceptance import BucketOutcome
+from repro.runner.store import unit_key
+from repro.runner.units import WorkUnit, run_unit
+from repro.util.env import runner_backend_from_env
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.progress import ProgressReporter
+
+__all__ = [
+    "UnitResult",
+    "WorkerCrashError",
+    "FabricObserver",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "default_jobs",
+    "pool_context",
+    "resolve_backend",
+    "registered_backends",
+]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (\"use the machine\")."""
+    return max(1, len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1))
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps worker start-up negligible next to shard runtimes; fall
+    # back to spawn where fork does not exist (Windows).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """One finished unit: its position in the submitted batch, the
+    outcome, and the worker's obs payload (``None`` when the unit ran in
+    the calling process and recorded straight into the live registry)."""
+
+    pos: int
+    outcome: BucketOutcome
+    payload: dict | None = None
+
+
+class WorkerCrashError(RuntimeError):
+    """A work unit could not be completed by any worker.
+
+    Carries everything a post-mortem needs instead of a raw pool
+    traceback: the failing :class:`WorkUnit` and its content key (the
+    shard the campaign is missing), how many attempts were made, the age
+    of the responsible worker's last heartbeat when it was given up on,
+    and the last error detail (a formatted worker traceback for an
+    exception, or a liveness description for a killed/hung worker).
+    """
+
+    def __init__(
+        self,
+        unit: WorkUnit,
+        *,
+        attempts: int,
+        heartbeat_age: float | None = None,
+        detail: str = "",
+    ):
+        self.unit = unit
+        self.unit_key = unit_key(unit)
+        self.attempts = attempts
+        self.heartbeat_age = heartbeat_age
+        self.detail = detail
+        age = (
+            f", last heartbeat {heartbeat_age:.2f}s ago"
+            if heartbeat_age is not None
+            else ""
+        )
+        message = (
+            f"work unit {self.unit_key[:12]} "
+            f"(label={unit.config.label!r}, m={unit.config.m}, "
+            f"bucket={unit.bucket}) failed after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}{age}"
+        )
+        if detail:
+            message += f"\n{detail.rstrip()}"
+        super().__init__(message)
+
+
+@dataclass
+class FabricObserver:
+    """Bridges backend lifecycle events to progress + obs.
+
+    Backends call these hooks; the observer fans them out to the
+    (optional) :class:`~repro.runner.progress.ProgressReporter` and, when
+    recording is on, the obs registry (``runner.retries`` /
+    ``runner.lost-workers`` counters, worker liveness and heartbeat-age
+    gauges).  A default-constructed observer is a cheap no-op sink, so
+    backends never need ``if observer`` checks.
+    """
+
+    progress: "ProgressReporter | None" = None
+
+    def unit_retried(self, unit: WorkUnit, attempt: int) -> None:
+        if obs.active():
+            obs.REGISTRY.add("runner.retries")
+        if self.progress is not None:
+            self.progress.unit_retried()
+
+    def worker_lost(self, worker: int, heartbeat_age: float | None) -> None:
+        if obs.active():
+            obs.REGISTRY.add("runner.lost-workers")
+
+    def workers_changed(self, alive: int, total: int) -> None:
+        if obs.active():
+            obs.REGISTRY.set_gauge("runner.workers-alive", alive)
+        if self.progress is not None:
+            self.progress.set_workers(alive, total)
+
+    def heartbeat_age(self, age: float) -> None:
+        if obs.active():
+            obs.REGISTRY.set_gauge("runner.heartbeat-age", age)
+
+
+# -- worker-side helpers (shared by every backend) -----------------------------
+def timed_unit(unit: WorkUnit, backend: str) -> BucketOutcome:
+    """Run one unit under a ``shard`` span, feeding the latency histogram.
+
+    On Linux ``fork`` workers CLOCK_MONOTONIC is system-wide, so worker
+    span timestamps land on the same trace axis as the parent's.
+    """
+    start = clock.monotonic()
+    with obs.span(
+        "shard",
+        label=unit.config.label,
+        m=unit.config.m,
+        bucket=unit.bucket,
+        backend=backend,
+    ):
+        outcome = run_unit(unit)
+    if obs.active():
+        obs.REGISTRY.observe("runner.shard-seconds", clock.monotonic() - start)
+    return outcome
+
+
+def run_unit_observed(unit: WorkUnit, backend: str) -> tuple[BucketOutcome, dict]:
+    """Out-of-process entry point: the outcome plus this unit's obs payload.
+
+    Clearing first makes the payload exactly the unit's contribution, so
+    the parent can absorb payloads in any completion order without double
+    counting (registry merge is associative and commutative).
+    """
+    obs.clear()
+    outcome = timed_unit(unit, backend)
+    return outcome, obs.capture_payload()
+
+
+def payload_busy_seconds(payload: dict | None) -> float:
+    """Worker-side shard seconds carried by one obs payload (0.0 when the
+    worker recorded none, i.e. recording is off)."""
+    if not payload:
+        return 0.0
+    histograms = payload.get("registry", {}).get("histograms", {})
+    state = histograms.get("runner.shard-seconds")
+    return float(state["total"]) if state else 0.0
+
+
+class ExecutorBackend:
+    """The backend protocol: ``submit`` once, drain ``as_completed``,
+    always ``shutdown`` (idempotent, also mid-stream on error paths).
+
+    Backends are single-shot: one ``submit`` per instance.  Concrete
+    classes set ``name`` (the registry/CLI identity) and ``workers``.
+    """
+
+    name: str = ""
+    workers: int = 1
+
+    def submit(self, units: Sequence[WorkUnit]) -> None:
+        raise NotImplementedError
+
+    def as_completed(self) -> Iterator[UnitResult]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """Everything in the calling process, in submission order.
+
+    No pickling, no clearing of the live registry — exactly the path the
+    parallel backends are differentially verified against.
+    """
+
+    name = "serial"
+
+    def __init__(self, observer: FabricObserver | None = None):
+        self.observer = observer or FabricObserver()
+        self._units: list[WorkUnit] = []
+
+    def submit(self, units: Sequence[WorkUnit]) -> None:
+        self._units = list(units)
+
+    def as_completed(self) -> Iterator[UnitResult]:
+        for pos, unit in enumerate(self._units):
+            yield UnitResult(pos, timed_unit(unit, self.name))
+
+    def shutdown(self) -> None:
+        pass
+
+
+def _pool_entry(job: tuple[int, WorkUnit]) -> tuple[int, str, object, dict | None]:
+    """Picklable pool-worker function: never raises, always reports.
+
+    Returns ``(pos, "ok", outcome, payload)`` or ``(pos, "error",
+    formatted traceback, None)`` so the parent can raise a typed
+    :class:`WorkerCrashError` naming the unit instead of surfacing a raw
+    remote traceback out of ``imap``.
+    """
+    pos, unit = job
+    try:
+        outcome, payload = run_unit_observed(unit, "pool")
+    except Exception:
+        return pos, "error", traceback.format_exc(), None
+    return pos, "ok", outcome, payload
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Today's fork pool behind the backend protocol (behavior-preserving):
+    ``imap`` with chunksize 1, results yielded in submission order."""
+
+    name = "pool"
+
+    def __init__(self, workers: int, observer: FabricObserver | None = None):
+        self.workers = max(1, workers)
+        self.observer = observer or FabricObserver()
+        self._units: list[WorkUnit] = []
+        self._pool = None
+
+    def submit(self, units: Sequence[WorkUnit]) -> None:
+        self._units = list(units)
+        self.workers = min(self.workers, max(1, len(self._units)))
+
+    def as_completed(self) -> Iterator[UnitResult]:
+        busy = 0.0
+        started = clock.monotonic()
+        self._pool = pool_context().Pool(processes=self.workers)
+        self.observer.workers_changed(self.workers, self.workers)
+        try:
+            computed = self._pool.imap(
+                _pool_entry, list(enumerate(self._units)), chunksize=1
+            )
+            for pos, status, result, payload in computed:
+                if status == "error":
+                    raise WorkerCrashError(
+                        self._units[pos], attempts=1, detail=str(result)
+                    )
+                busy += payload_busy_seconds(payload)
+                yield UnitResult(pos, result, payload)
+        finally:
+            self.shutdown()
+        if obs.active() and self.workers > 1:
+            wall = clock.monotonic() - started
+            if wall > 0:
+                obs.REGISTRY.set_gauge(
+                    "runner.worker-utilization",
+                    min(1.0, busy / (self.workers * wall)),
+                )
+
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+            self.observer.workers_changed(0, self.workers)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """The executor backend names the fabric can instantiate."""
+    return ("serial", "pool", "cluster")
+
+
+def resolve_backend(
+    backend: "str | ExecutorBackend | None",
+    *,
+    jobs: int,
+    pending: int,
+    observer: FabricObserver | None = None,
+) -> ExecutorBackend:
+    """Instantiate the backend a run asked for.
+
+    Resolution order: an explicit instance wins; an explicit name is
+    honored as-is; ``None``/``""`` consults ``REPRO_RUNNER_BACKEND``; an
+    empty knob auto-selects exactly like the pre-fabric runner —
+    ``pool`` when both ``jobs`` and the pending unit count exceed one,
+    in-process ``serial`` otherwise.
+    """
+    if isinstance(backend, ExecutorBackend):
+        if observer is not None:
+            backend.observer = observer
+        return backend
+    name = backend if backend else runner_backend_from_env("")
+    if not name:
+        name = "pool" if jobs > 1 and pending > 1 else "serial"
+    workers = min(max(1, jobs), max(1, pending))
+    if name == "serial":
+        return SerialBackend(observer=observer)
+    if name == "pool":
+        return ProcessPoolBackend(workers, observer=observer)
+    if name == "cluster":
+        from repro.runner.cluster import ClusterBackend
+
+        return ClusterBackend(workers, observer=observer)
+    known = "|".join(registered_backends())
+    raise ValueError(f"unknown executor backend {name!r}; known: {known}")

@@ -1,0 +1,134 @@
+"""Env-triggered fault injection for cluster workers (tests/benchmarks).
+
+The fault-tolerance claims of :class:`~repro.runner.cluster.
+ClusterBackend` — lease re-dispatch, heartbeat liveness, exactly-once
+merge — are only worth anything if they are exercised by *real* worker
+deaths.  This module gives the cluster worker entry point a hook that
+kills or hangs it mid-shard, driven entirely by environment variables so
+the injected process needs no cooperation from the code under test:
+
+* ``REPRO_RUNNER_FAULT`` — the fault spec, ``<action>:<selector>``:
+
+  - actions: ``crash`` (``SIGKILL`` to self — indistinguishable from the
+    OOM killer) or ``hang`` (sleep far past any lease timeout);
+  - selectors: ``all`` (every unit), ``bucket=<float>`` (units for one
+    ``UB`` bucket), ``rate=<p>`` (a deterministic pseudo-random fraction
+    ``p`` of units, keyed on the unit's content hash so every process
+    agrees which units are doomed).
+
+* ``REPRO_RUNNER_FAULT_DIR`` — when set, each (unit, action) faults *at
+  most once*, coordinated through atomically-created marker files in
+  this directory; the re-dispatched attempt then succeeds.  Unset, the
+  fault fires every time — that is how the give-up path
+  (:class:`~repro.runner.executor.WorkerCrashError`) is tested.
+
+Parsing is validated loudly (a typo must not silently un-inject a fault
+the test relies on), and the spec is re-read per unit so fork-inherited
+module state can never pin a stale spec.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.runner.store import unit_key
+from repro.runner.units import WorkUnit
+
+__all__ = ["FaultSpec", "parse_fault_spec", "fault_spec_from_env", "maybe_inject"]
+
+_ACTIONS = ("crash", "hang")
+
+#: How long a "hung" worker sleeps — effectively forever next to any
+#: sane lease timeout; the parent reclaims the lease and kills us first.
+HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: what to do and which units it hits."""
+
+    action: str  #: ``crash`` or ``hang``
+    selector: str  #: ``all`` / ``bucket`` / ``rate``
+    value: float = 0.0  #: bucket center or rate, per selector
+
+    def matches(self, unit: WorkUnit, key: str) -> bool:
+        if self.selector == "all":
+            return True
+        if self.selector == "bucket":
+            return abs(unit.bucket - self.value) < 1e-9
+        # rate: the unit's content hash is uniform, stable across
+        # processes and hosts — every worker agrees on the doomed set.
+        return int(key[:8], 16) / 0xFFFFFFFF < self.value
+
+
+def parse_fault_spec(raw: str) -> FaultSpec:
+    """Parse ``<action>:<selector>`` (see module docstring); raise on typos."""
+    action, sep, rest = raw.partition(":")
+    if action not in _ACTIONS or not sep:
+        raise ValueError(
+            f"fault spec must be <{'|'.join(_ACTIONS)}>:<selector>, got {raw!r}"
+        )
+    if rest == "all":
+        return FaultSpec(action, "all")
+    kind, sep, value = rest.partition("=")
+    if kind in ("bucket", "rate") and sep:
+        try:
+            number = float(value)
+        except ValueError:
+            raise ValueError(
+                f"fault selector {kind}= needs a number, got {value!r}"
+            ) from None
+        if kind == "rate" and not 0.0 <= number <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {number}")
+        return FaultSpec(action, kind, number)
+    raise ValueError(
+        f"unknown fault selector {rest!r}; use all, bucket=<UB> or rate=<p>"
+    )
+
+
+def fault_spec_from_env() -> FaultSpec | None:
+    """The active fault spec, or ``None`` when ``REPRO_RUNNER_FAULT`` is unset."""
+    raw = os.environ.get("REPRO_RUNNER_FAULT", "")
+    return parse_fault_spec(raw) if raw else None
+
+
+def _claim_once_marker(key: str, action: str) -> bool:
+    """Whether this (unit, action) may still fault.
+
+    With no marker directory configured, always yes (the fault repeats).
+    Otherwise the first process to atomically create the marker file gets
+    to fault; everyone after — in particular the re-dispatched attempt —
+    runs the unit normally.
+    """
+    marker_dir = os.environ.get("REPRO_RUNNER_FAULT_DIR", "")
+    if not marker_dir:
+        return True
+    os.makedirs(marker_dir, exist_ok=True)
+    marker = os.path.join(marker_dir, f"{key}.{action}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def maybe_inject(unit: WorkUnit) -> None:
+    """Crash or hang the calling process if the env says this unit is doomed.
+
+    Called by the cluster worker entry point right after claiming a unit
+    — i.e. mid-shard from the parent's point of view: the lease exists,
+    the outcome does not.
+    """
+    spec = fault_spec_from_env()
+    if spec is None:
+        return
+    key = unit_key(unit)
+    if not spec.matches(unit, key) or not _claim_once_marker(key, spec.action):
+        return
+    if spec.action == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(HANG_SECONDS)  # pragma: no cover - the parent SIGKILLs us

@@ -1,98 +1,63 @@
-"""Shard execution: serial or across a ``multiprocessing`` pool.
+"""Shard execution through the campaign fabric.
 
 The contract, relied on by the equivalence tests: for a fixed config and
 algorithm list, :func:`run_sweep` returns a result **bit-identical** to
-``AcceptanceSweep(config).run(...)`` no matter the job count, the cache
-state, or the order workers finish in.  Determinism comes for free from
-the per-replicate RNG derivation (see :mod:`repro.util.rng`); this module
-only has to preserve unit identity and merge in bucket order.
+``AcceptanceSweep(config).run(...)`` no matter the executor backend, the
+job count, the shard store's state, or the order workers finish in.
+Determinism comes for free from the per-replicate RNG derivation (see
+:mod:`repro.util.rng`); this module only has to preserve unit identity
+and merge in bucket order.
 
-Observability rides the same wire: every pool worker clears the process
-:data:`repro.obs.REGISTRY` before a unit and ships its contribution back
-next to the outcome (:func:`repro.obs.capture_payload`), and the parent
-folds payloads in associatively — so counters, histograms and (under
-``REPRO_OBS=trace``) spans survive multiprocessing with the same totals a
-serial run reports.  Payloads are always shipped, because the demand-kernel
-counters behind the CLI ``--pipeline`` diagnostics predate the ``REPRO_OBS``
-knob and must keep working with it off; everything gated stays near-free.
+The heavy lifting lives one layer down: :mod:`repro.runner.executor`
+defines the ``ExecutorBackend`` protocol (serial / pool / cluster — the
+latter in :mod:`repro.runner.cluster`) and :mod:`repro.runner.store` the
+``ShardStore`` persistence interface.  This module is the conductor:
+load what the store already has, hand the rest to a backend, absorb obs
+payloads, record outcomes and progress.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from typing import TYPE_CHECKING, Sequence
 
 from repro import obs
-from repro.obs import clock
 from repro.experiments.acceptance import (
     BucketOutcome,
     SweepConfig,
     SweepResult,
     merge_outcomes,
 )
-from repro.runner.units import WorkUnit, decompose_sweep, run_unit
+from repro.runner.executor import (
+    ExecutorBackend,
+    FabricObserver,
+    default_jobs,
+    resolve_backend,
+)
+from repro.runner.units import WorkUnit, decompose_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runner.cache import ShardCache
     from repro.runner.progress import ProgressReporter
+    from repro.runner.store import ShardStore
 
 __all__ = ["default_jobs", "execute_units", "run_sweep"]
-
-
-def default_jobs() -> int:
-    """A sensible worker count for ``--jobs 0`` (\"use the machine\")."""
-    return max(1, len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1))
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork keeps worker start-up negligible next to shard runtimes; fall
-    # back to spawn where fork does not exist (Windows).
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context("spawn")
-
-
-def _timed_unit(unit: WorkUnit) -> BucketOutcome:
-    """Run one unit under a ``shard`` span, feeding the latency histogram.
-
-    On Linux ``fork`` workers CLOCK_MONOTONIC is system-wide, so worker
-    span timestamps land on the same trace axis as the parent's.
-    """
-    start = clock.monotonic()
-    with obs.span(
-        "shard", label=unit.config.label, m=unit.config.m, bucket=unit.bucket
-    ):
-        outcome = run_unit(unit)
-    if obs.active():
-        obs.REGISTRY.observe("runner.shard-seconds", clock.monotonic() - start)
-    return outcome
-
-
-def _run_unit_observed(unit: WorkUnit) -> tuple[BucketOutcome, dict]:
-    """Pool-worker entry point: the outcome plus this unit's obs payload.
-
-    Clearing first makes the payload exactly the unit's contribution, so
-    the parent can absorb payloads in any completion order without double
-    counting (registry merge is associative and commutative).
-    """
-    obs.clear()
-    outcome = _timed_unit(unit)
-    return outcome, obs.capture_payload()
 
 
 def execute_units(
     units: Sequence[WorkUnit],
     *,
     jobs: int = 1,
-    cache: "ShardCache | None" = None,
+    cache: "ShardStore | None" = None,
     progress: "ProgressReporter | None" = None,
+    backend: "str | ExecutorBackend | None" = None,
 ) -> list[BucketOutcome]:
-    """Run every unit, preferring cached shards, and return them in order.
+    """Run every unit, preferring stored shards, and return them in order.
 
-    ``jobs <= 1`` stays entirely in-process (no pool, no pickling) —
-    that path is what the parallel paths are verified against.
+    ``backend`` picks the executor (``"serial"`` / ``"pool"`` /
+    ``"cluster"``, a ready instance, or ``None`` to consult
+    ``REPRO_RUNNER_BACKEND`` and fall back to the historical auto rule:
+    in-process serial unless ``jobs > 1``).  Every backend produces
+    bit-identical outcomes; the serial path is what the others are
+    verified against.
     """
     if progress is not None:
         progress.add_total(len(units))
@@ -115,38 +80,23 @@ def execute_units(
         if progress is not None:
             progress.unit_done()
 
-    if jobs > 1 and len(pending) > 1:
-        workers = min(jobs, len(pending))
-        busy = 0.0
-        started = clock.monotonic()
-        with _pool_context().Pool(processes=workers) as pool:
-            computed = pool.imap(
-                _run_unit_observed, [units[i] for i in pending], chunksize=1
-            )
-            for idx, (outcome, payload) in zip(pending, computed):
-                busy += _payload_busy_seconds(payload)
-                obs.absorb_payload(payload)
-                record(idx, outcome)
-        if obs.active():
-            wall = clock.monotonic() - started
-            if wall > 0:
-                obs.REGISTRY.set_gauge(
-                    "runner.worker-utilization",
-                    min(1.0, busy / (workers * wall)),
-                )
-    else:
-        for idx in pending:
-            record(idx, _timed_unit(units[idx]))
+    if pending:
+        executor = resolve_backend(
+            backend,
+            jobs=jobs,
+            pending=len(pending),
+            observer=FabricObserver(progress),
+        )
+        executor.submit([units[i] for i in pending])
+        try:
+            for result in executor.as_completed():
+                if result.payload is not None:
+                    obs.absorb_payload(result.payload)
+                record(pending[result.pos], result.outcome)
+        finally:
+            executor.shutdown()
 
     return [outcome for outcome in outcomes if outcome is not None]
-
-
-def _payload_busy_seconds(payload: dict) -> float:
-    """Worker-side shard seconds carried by one obs payload (0.0 when the
-    worker recorded none, i.e. recording is off)."""
-    histograms = payload.get("registry", {}).get("histograms", {})
-    state = histograms.get("runner.shard-seconds")
-    return float(state["total"]) if state else 0.0
 
 
 def run_sweep(
@@ -154,17 +104,19 @@ def run_sweep(
     algorithm_names: Sequence[str],
     *,
     jobs: int = 1,
-    cache: "ShardCache | None" = None,
+    cache: "ShardStore | None" = None,
     progress: "ProgressReporter | None" = None,
     pipeline: str = "batched",
+    backend: "str | ExecutorBackend | None" = None,
     diagnostics: list | None = None,
 ) -> SweepResult:
     """One full acceptance sweep through the shard runner.
 
     ``pipeline`` picks the shard execution path (columnar ``"batched"`` or
-    per-taskset ``"scalar"``); results and cache identities are the same
-    either way — see :mod:`repro.experiments.acceptance`.  When a
-    ``diagnostics`` list is passed, the raw per-bucket outcomes are
+    per-taskset ``"scalar"``) and ``backend`` the executor; results and
+    cache identities are the same under every combination — see
+    :mod:`repro.experiments.acceptance` and :mod:`repro.runner.executor`.
+    When a ``diagnostics`` list is passed, the raw per-bucket outcomes are
     appended to it so callers can render the settled-by report
     (:func:`~repro.experiments.acceptance.settled_summary`); the demand-
     kernel half (:func:`~repro.experiments.acceptance.kernel_summary`)
@@ -174,7 +126,7 @@ def run_sweep(
     units = decompose_sweep(config, names, pipeline=pipeline)
     with obs.span("sweep", label=config.label, m=config.m):
         outcomes = execute_units(
-            units, jobs=jobs, cache=cache, progress=progress
+            units, jobs=jobs, cache=cache, progress=progress, backend=backend
         )
     if diagnostics is not None:
         diagnostics.extend(outcomes)

@@ -2,11 +2,13 @@
 
 A campaign at paper scale executes hundreds of shards for minutes to
 hours; :class:`ProgressReporter` keeps a single self-overwriting status
-line on a stream (stderr by default) with completion counts, cache hits
-and a smoothed ETA.  It is intentionally dumb and injectable — a plain
-object with ``add_total``/``unit_done``/``finish`` — so the pool can
-drive it without knowing about terminals, and tests can drive it with a
-fake clock and a ``StringIO``.
+line on a stream (stderr by default) with completion counts, cache hits,
+fault-recovery retries, executor worker liveness and a smoothed ETA
+merged across however many sweeps (and whichever backend) the campaign
+runs.  It is intentionally dumb and injectable — a plain object with
+``add_total``/``unit_done``/``unit_retried``/``set_workers``/``finish``
+— so the fabric can drive it without knowing about terminals, and tests
+can drive it with a fake clock and a ``StringIO``.
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ class ProgressReporter:
         self.total = 0
         self.completed = 0
         self.cached = 0
+        self.retried = 0
+        self.workers_alive: int | None = None
+        self.workers_total: int | None = None
 
     # -- event intake -----------------------------------------------------------
     def add_total(self, units: int) -> None:
@@ -71,6 +76,22 @@ class ProgressReporter:
         if cached:
             self.cached += 1
         self._render(force=self.completed == self.total)
+
+    def unit_retried(self) -> None:
+        """Record one shard re-dispatched after its worker was lost/hung.
+
+        Retries never touch ``total``: the unit was already announced and
+        will complete exactly once, so the ETA stays a merged view of
+        real remaining work across whatever backend is executing it.
+        """
+        self.retried += 1
+        self._render()
+
+    def set_workers(self, alive: int, total: int) -> None:
+        """Record executor worker liveness (fabric backends report this)."""
+        self.workers_alive = alive
+        self.workers_total = total
+        self._render()
 
     def finish(self) -> None:
         """Render the final state and terminate the status line."""
@@ -90,8 +111,13 @@ class ProgressReporter:
             f"{self.label}: {self.completed} {shard_word} in "
             f"{format_eta(self.elapsed_seconds())}"
         )
+        extras = []
         if self.cached:
-            line += f" ({self.cached} from cache)"
+            extras.append(f"{self.cached} from cache")
+        if self.retried:
+            extras.append(f"{self.retried} retried")
+        if extras:
+            line += f" ({', '.join(extras)})"
         return line
 
     def write_summary(self) -> None:
@@ -113,6 +139,13 @@ class ProgressReporter:
         parts = [f"{self.label}: {self.completed}/{self.total} shards"]
         if self.cached:
             parts.append(f"{self.cached} cached")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if (
+            self.workers_total is not None
+            and self.completed < self.total
+        ):
+            parts.append(f"workers {self.workers_alive}/{self.workers_total}")
         eta = self.eta_seconds()
         if eta is not None and self.completed < self.total:
             parts.append(f"eta {format_eta(eta)}")

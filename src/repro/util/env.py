@@ -20,6 +20,18 @@ And one selects the observability recorder of :mod:`repro.obs`:
   for the Chrome-trace export).  Recording never changes results — it
   only decides what diagnostics are collected alongside them.
 
+Four configure the campaign fabric of :mod:`repro.runner`:
+
+* ``REPRO_RUNNER_BACKEND`` — ``serial``, ``pool`` or ``cluster``
+  executor backend; empty (default) auto-selects from ``jobs`` exactly
+  as before the backend layer existed.
+* ``REPRO_RUNNER_STORE`` — ``fs`` (default, the two-level fan-out
+  layout) or ``object`` (flat content-keyed bucket) shard-store layout.
+* ``REPRO_RUNNER_HEARTBEAT`` — cluster worker heartbeat interval in
+  seconds (default 2.0).
+* ``REPRO_RUNNER_LEASE`` — cluster work-unit lease timeout in seconds
+  (default 300.0); a unit not finished within its lease is re-dispatched.
+
 This module is the single parsing/validation point; the figure defaults,
 the benchmark harness and the analysis kernel all delegate here so a
 malformed knob fails the same way everywhere.
@@ -31,15 +43,26 @@ import os
 
 __all__ = [
     "positive_int_env",
+    "positive_float_env",
     "samples_from_env",
     "m_values_from_env",
     "scan_chunk_from_env",
     "approx_k_from_env",
     "obs_mode_from_env",
+    "runner_backend_from_env",
+    "runner_store_from_env",
+    "heartbeat_interval_from_env",
+    "lease_timeout_from_env",
 ]
 
 #: Valid ``REPRO_OBS`` values, in increasing collection order.
 OBS_MODES = ("off", "metrics", "trace")
+
+#: Valid executor backends, in increasing machinery order ("" = auto).
+RUNNER_BACKENDS = ("serial", "pool", "cluster")
+
+#: Valid shard-store layouts.
+RUNNER_STORES = ("fs", "object")
 
 
 def positive_int_env(name: str, fallback: int) -> int:
@@ -55,6 +78,24 @@ def positive_int_env(name: str, fallback: int) -> int:
         value = int(raw)
     except ValueError:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def positive_float_env(name: str, fallback: float) -> float:
+    """Read a positive float from the environment, or ``fallback``.
+
+    Same contract as :func:`positive_int_env`: malformed values raise
+    instead of silently running with a surprising timeout.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return fallback
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
     if value <= 0:
         raise ValueError(f"{name} must be positive, got {value}")
     return value
@@ -90,6 +131,48 @@ def obs_mode_from_env(fallback: str = "off") -> str:
             f"REPRO_OBS must be one of {'|'.join(OBS_MODES)}, got {raw!r}"
         )
     return raw
+
+
+def runner_backend_from_env(fallback: str = "") -> str:
+    """Executor backend: ``REPRO_RUNNER_BACKEND`` or ``fallback``.
+
+    ``""`` means "auto": pick ``pool`` or ``serial`` from the ``jobs``
+    argument like the pre-fabric runner did.  Anything other than
+    :data:`RUNNER_BACKENDS` raises — running a campaign on the wrong
+    backend because of a typo would waste hours, not milliseconds.
+    """
+    raw = os.environ.get("REPRO_RUNNER_BACKEND", "")
+    if not raw:
+        return fallback
+    if raw not in RUNNER_BACKENDS:
+        raise ValueError(
+            f"REPRO_RUNNER_BACKEND must be one of "
+            f"{'|'.join(RUNNER_BACKENDS)}, got {raw!r}"
+        )
+    return raw
+
+
+def runner_store_from_env(fallback: str = "fs") -> str:
+    """Shard-store layout: ``REPRO_RUNNER_STORE`` or ``fallback``."""
+    raw = os.environ.get("REPRO_RUNNER_STORE", "")
+    if not raw:
+        return fallback
+    if raw not in RUNNER_STORES:
+        raise ValueError(
+            f"REPRO_RUNNER_STORE must be one of "
+            f"{'|'.join(RUNNER_STORES)}, got {raw!r}"
+        )
+    return raw
+
+
+def heartbeat_interval_from_env(fallback: float = 2.0) -> float:
+    """Cluster heartbeat interval (s): ``REPRO_RUNNER_HEARTBEAT`` or ``fallback``."""
+    return positive_float_env("REPRO_RUNNER_HEARTBEAT", fallback)
+
+
+def lease_timeout_from_env(fallback: float = 300.0) -> float:
+    """Cluster unit-lease timeout (s): ``REPRO_RUNNER_LEASE`` or ``fallback``."""
+    return positive_float_env("REPRO_RUNNER_LEASE", fallback)
 
 
 def m_values_from_env(fallback: tuple[int, ...] = (2, 4, 8)) -> tuple[int, ...]:

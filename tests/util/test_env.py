@@ -4,10 +4,17 @@ import pytest
 
 from repro.util.env import (
     OBS_MODES,
+    RUNNER_BACKENDS,
+    RUNNER_STORES,
     approx_k_from_env,
+    heartbeat_interval_from_env,
+    lease_timeout_from_env,
     m_values_from_env,
     obs_mode_from_env,
+    positive_float_env,
     positive_int_env,
+    runner_backend_from_env,
+    runner_store_from_env,
     samples_from_env,
     scan_chunk_from_env,
 )
@@ -80,6 +87,74 @@ class TestObsMode:
         monkeypatch.setenv("REPRO_OBS", bad)
         with pytest.raises(ValueError, match="REPRO_OBS"):
             obs_mode_from_env()
+
+
+class TestRunnerBackendKnob:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_BACKEND", raising=False)
+        assert runner_backend_from_env() == ""
+
+    @pytest.mark.parametrize("name", RUNNER_BACKENDS)
+    def test_parses_every_backend(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_RUNNER_BACKEND", name)
+        assert runner_backend_from_env() == name
+
+    @pytest.mark.parametrize("bad", ["threads", "POOL", "serial,pool", "1"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_RUNNER_BACKEND", bad)
+        with pytest.raises(ValueError, match="REPRO_RUNNER_BACKEND"):
+            runner_backend_from_env()
+
+
+class TestRunnerStoreKnob:
+    def test_default_is_fs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_STORE", raising=False)
+        assert runner_store_from_env() == "fs"
+
+    @pytest.mark.parametrize("name", RUNNER_STORES)
+    def test_parses_every_store(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_RUNNER_STORE", name)
+        assert runner_store_from_env() == name
+
+    @pytest.mark.parametrize("bad", ["s3", "FS", "fs,object"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_RUNNER_STORE", bad)
+        with pytest.raises(ValueError, match="REPRO_RUNNER_STORE"):
+            runner_store_from_env()
+
+
+class TestClusterTimingKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_HEARTBEAT", raising=False)
+        monkeypatch.delenv("REPRO_RUNNER_LEASE", raising=False)
+        assert heartbeat_interval_from_env() == 2.0
+        assert lease_timeout_from_env() == 300.0
+
+    def test_parses_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_HEARTBEAT", "0.5")
+        monkeypatch.setenv("REPRO_RUNNER_LEASE", "30")
+        assert heartbeat_interval_from_env() == 0.5
+        assert lease_timeout_from_env() == 30.0
+
+    @pytest.mark.parametrize("knob,reader", [
+        ("REPRO_RUNNER_HEARTBEAT", heartbeat_interval_from_env),
+        ("REPRO_RUNNER_LEASE", lease_timeout_from_env),
+    ])
+    @pytest.mark.parametrize("bad", ["0", "-1.5", "soon"])
+    def test_rejects_invalid(self, monkeypatch, knob, reader, bad):
+        monkeypatch.setenv(knob, bad)
+        with pytest.raises(ValueError, match=knob):
+            reader()
+
+
+class TestPositiveFloatEnv:
+    def test_fallback_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_LEASE", raising=False)
+        assert positive_float_env("REPRO_RUNNER_LEASE", 1.25) == 1.25
+
+    def test_accepts_scientific_notation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_LEASE", "1e2")
+        assert positive_float_env("REPRO_RUNNER_LEASE", 1.0) == 100.0
 
 
 class TestMValues:
