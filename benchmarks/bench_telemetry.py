@@ -1,0 +1,174 @@
+"""Journal overhead: the durable telemetry plane must be nearly free.
+
+Drives the fig3 campaign slice (30 shards across the m sweep) with the
+event journal off and on, for the serial backend (conductor-only
+writes) and the cluster backend (conductor + every worker appending to
+the same file), and records the wall-clock overhead factor in
+``BENCH_telemetry.json`` at the repo root.  The differential guarantee
+is asserted inline — journal-on outcomes must be bit-identical to
+journal-off — and the artifact doubles as a ``repro report --baseline``
+target because it carries a ``shards_per_sec`` figure summarized *from
+the journal itself*.
+
+Tripwire: the ISSUE caps journal overhead at 5% on this slice.  Each
+pass is best-of-N wall clock; on a noisy 1-CPU runner a small absolute
+grace (50ms) keeps sub-second timings from flaking the gate, and the
+committed artifact records the honest factor either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.acceptance import SweepConfig
+from repro.experiments.figures import FIG3_ALGORITHMS
+from repro.obs.journal import read_events
+from repro.obs.report import summarize_journal
+from repro.runner import ClusterBackend, decompose_sweep, execute_units
+
+from conftest import RESULTS_DIR, bench_samples, emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Worker count for the cluster rows (pinned for comparability).
+JOBS = 4
+
+#: The fig3 processor sweep — same batch the fabric bench drives.
+M_VALUES = (2, 4, 8)
+
+#: The ISSUE's overhead ceiling, plus an absolute grace for sub-second
+#: timings on shared CI runners.
+MAX_OVERHEAD = 1.05
+GRACE_SECONDS = 0.05
+
+REPEATS = 2
+
+
+def fabric_units(samples: int):
+    units = []
+    for m in M_VALUES:
+        config = SweepConfig(label="fig3", m=m, samples_per_bucket=samples)
+        units.extend(decompose_sweep(config, FIG3_ALGORITHMS))
+    return units
+
+
+def make_backend(name: str):
+    if name == "cluster":
+        return ClusterBackend(JOBS, heartbeat_interval=0.2, lease_timeout=60.0)
+    return name
+
+
+def timed(units, backend_name: str, jobs: int):
+    """Best-of-N wall clock for one pass; returns (seconds, outcomes)."""
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        current = execute_units(
+            units, jobs=jobs, backend=make_backend(backend_name)
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, result = elapsed, current
+    return best, result
+
+
+def test_bench_telemetry_report(tmp_path, monkeypatch):
+    """Journal off/on parity + overhead; emits BENCH_telemetry.json."""
+    samples = bench_samples(250)
+    units = fabric_units(samples)
+    shards = len(units)
+
+    monkeypatch.delenv("REPRO_RUNNER_FAULT", raising=False)
+    monkeypatch.delenv("REPRO_RUNNER_FAULT_DIR", raising=False)
+    monkeypatch.delenv("REPRO_OBS_JOURNAL", raising=False)
+
+    # Untimed warmup: the first pass pays import and allocator costs that
+    # would otherwise be billed to whichever mode happens to run first.
+    execute_units(units, jobs=1, backend="serial")
+
+    modes: dict[str, dict] = {}
+    journals: dict[str, Path] = {}
+    for backend_name, jobs in (("serial", 1), ("cluster", JOBS)):
+        t_off, r_off = timed(units, backend_name, jobs)
+        journal_path = tmp_path / f"journal-{backend_name}.jsonl"
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", str(journal_path))
+        t_on, r_on = timed(units, backend_name, jobs)
+        monkeypatch.delenv("REPRO_OBS_JOURNAL")
+        # The differential guarantee, asserted where the numbers are made.
+        assert r_on == r_off, f"{backend_name}: journal-on outcomes diverged"
+        overhead = t_on / t_off
+        modes[backend_name] = {
+            "jobs": jobs,
+            "off_s": round(t_off, 4),
+            "on_s": round(t_on, 4),
+            "overhead_factor": round(overhead, 3),
+            "shards_per_sec": round(shards / t_on, 2),
+        }
+        journals[backend_name] = journal_path
+
+    # The journal's own account of the (best cluster) run: event volume
+    # and the throughput a `repro report --baseline` gate would read.
+    events = read_events(journals["cluster"])
+    bytes_written = journals["cluster"].stat().st_size
+    summary = summarize_journal(journals["cluster"], events=events)
+    # best-of-N appends to one file; scale the census to a single pass
+    events_per_shard = len(events) / (shards * REPEATS)
+
+    report = {
+        "figure": "fig3",
+        "m_values": list(M_VALUES),
+        "samples_per_bucket": samples,
+        "shards": shards,
+        "algorithms": list(FIG3_ALGORITHMS),
+        "host": {
+            "python": platform.python_version(),
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+        },
+        "max_overhead": MAX_OVERHEAD,
+        "modes": modes,
+        "journal": {
+            "schema": "repro-journal/1",
+            "events_per_shard": round(events_per_shard, 2),
+            "bytes_per_shard": round(bytes_written / (shards * REPEATS)),
+            "summarized_shards_per_sec": (
+                round(summary.shards_per_sec, 2)
+                if summary.shards_per_sec
+                else None
+            ),
+        },
+    }
+
+    lines = [f"backend   jobs    off        on      overhead   shards/s"]
+    for name in ("serial", "cluster"):
+        row = modes[name]
+        lines.append(
+            f"{name:<9} {row['jobs']:<6} {row['off_s']:>7.3f}s "
+            f"{row['on_s']:>7.3f}s {row['overhead_factor']:>8.3f}x "
+            f"{row['shards_per_sec']:>9.1f}"
+        )
+    lines.append(
+        f"journal: ~{report['journal']['events_per_shard']:.1f} events/shard, "
+        f"~{report['journal']['bytes_per_shard']} bytes/shard"
+    )
+
+    emit("BENCH_telemetry", "\n".join(lines))
+    payload = json.dumps(report, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_telemetry.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_telemetry.json").write_text(payload)
+
+    # Tripwires: the journal really recorded the runs, and stayed <5%.
+    assert events, "journal-on pass wrote no events"
+    assert summary.executed > 0
+    for name, row in modes.items():
+        assert row["on_s"] <= row["off_s"] * MAX_OVERHEAD + GRACE_SECONDS, (
+            f"{name}: journal overhead {row['overhead_factor']:.3f}x "
+            f"blew the {MAX_OVERHEAD:.2f}x budget"
+        )

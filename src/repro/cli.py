@@ -23,6 +23,16 @@ Commands
     Run a figure with the tracing recorder forced on and write the
     Chrome-trace span dump (open it in Perfetto or ``about:tracing``)
     plus the obs metrics snapshot.
+``status``
+    Render a live (or final) view of a campaign's event journal —
+    workers alive, per-sweep progress, fault counters, shard-latency
+    quantiles and stragglers.  ``--follow`` tails a running campaign
+    from a second terminal.
+``report``
+    Aggregate one or more journals into per-figure throughput/latency
+    tables, optionally diffed against a baseline journal or committed
+    ``BENCH_*.json`` artifact; exits non-zero past the regression
+    threshold (a ready-made CI perf gate).
 ``sensitivity``
     Run the utilization-difference sensitivity extension experiment.
 
@@ -34,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis import get_test, registered_tests
@@ -176,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(default repro-trace.json)"
         ),
     )
+    figure.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "append-only JSONL event journal for this run (exported as "
+            "REPRO_OBS_JOURNAL so workers inherit it); watch it live "
+            "with 'repro status --follow'"
+        ),
+    )
 
     campaign = sub.add_parser(
         "campaign", help="run a figure campaign (parallel + resumable)"
@@ -239,6 +259,69 @@ def build_parser() -> argparse.ArgumentParser:
             "sweep execution pipeline: 'batched' (columnar prefilters + "
             "ledger replay, default) or 'scalar' (per-taskset); results "
             "are identical"
+        ),
+    )
+    campaign.add_argument(
+        "--journal",
+        nargs="?",
+        const="auto",
+        default=None,
+        help=(
+            "append-only JSONL event journal (exported as "
+            "REPRO_OBS_JOURNAL so every worker writes it too); bare "
+            "--journal defaults to <out>/journal.jsonl; watch it live "
+            "with 'repro status --follow'"
+        ),
+    )
+
+    status = sub.add_parser(
+        "status", help="live status of a campaign from its event journal"
+    )
+    status.add_argument("journal", help="journal file a campaign is writing")
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the journal until the campaign ends (Ctrl-C to stop)",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="poll interval in seconds (default: REPRO_OBS_JOURNAL_FLUSH)",
+    )
+    status.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=None,
+        help=(
+            "flag in-flight units older than k x the running shard-seconds "
+            "p95 (default: REPRO_OBS_STRAGGLER, else 4.0)"
+        ),
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="aggregate event journals; diff runs against a baseline",
+    )
+    rep.add_argument(
+        "journals", nargs="+", help="one or more campaign journal files"
+    )
+    rep.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline to diff every journal against: another journal or a "
+            "committed BENCH_*.json artifact; without it, the first "
+            "journal is the baseline for the rest"
+        ),
+    )
+    rep.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "max tolerated fractional drift before exiting non-zero "
+            "(default 0.2; CI uses a generous value for noisy runners)"
         ),
     )
 
@@ -425,6 +508,7 @@ def _cmd_figure(args) -> int:
     from repro.experiments.acceptance import kernel_summary
     from repro.experiments.export import save_figure_result
     from repro.experiments.report import render_figure, render_sweep_diagnostics
+    from repro.obs.journal import emit_open, journal_env
     from repro.runner import ProgressReporter, create_store
     from repro.util.env import runner_store_from_env
 
@@ -439,17 +523,23 @@ def _cmd_figure(args) -> int:
     # kernel diagnostics scoped to this run (relevant to tests and embeds —
     # a fresh CLI process starts at zero anyway).
     kernel_baseline = obs.REGISTRY.counters("kernel.")
-    result = run_figure(
-        args.name,
-        samples=args.samples,
-        jobs=_resolve_jobs(args.jobs),
-        cache=cache,
-        progress=progress,
-        pipeline=args.pipeline,
-        backend=args.backend,
-        diagnostics=diagnostics,
-        **kwargs,
-    )
+    with journal_env(args.journal) as jrnl:
+        if jrnl is not None:
+            emit_open(jrnl, campaign=f"figure:{args.name}")
+        result = run_figure(
+            args.name,
+            samples=args.samples,
+            jobs=_resolve_jobs(args.jobs),
+            cache=cache,
+            progress=progress,
+            pipeline=args.pipeline,
+            backend=args.backend,
+            diagnostics=diagnostics,
+            **kwargs,
+        )
+        if jrnl is not None:
+            # close the record so `repro status` shows "finished"
+            jrnl.emit("campaign-end", campaign=f"figure:{args.name}")
     if progress is not None:
         progress.finish()
     if args.output:
@@ -518,6 +608,11 @@ def _cmd_campaign(args) -> int:
     except (ValueError, KeyError, TypeError, OSError) as exc:
         raise SystemExit(f"invalid campaign: {exc}") from None
 
+    journal = args.journal
+    if journal == "auto":
+        # Bare --journal: one JSONL file per campaign, next to its outputs.
+        journal = os.path.join(args.out, "journal.jsonl")
+
     progress = None if args.no_progress else ProgressReporter(label=spec.name)
     report = run_campaign(
         spec,
@@ -528,6 +623,7 @@ def _cmd_campaign(args) -> int:
         pipeline=args.pipeline,
         backend=args.backend,
         store=args.store,
+        journal=journal,
     )
     figure_word = "figure" if len(report.outputs) == 1 else "figures"
     print(
@@ -537,6 +633,93 @@ def _cmd_campaign(args) -> int:
     )
     for key, path in report.outputs.items():
         print(f"  {key}: {path}")
+    if journal:
+        print(f"  journal: {journal}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import time
+
+    from repro.obs.journal import JournalFollower, read_events
+    from repro.obs.status import CampaignStatus, render_status
+    from repro.util.env import journal_flush_interval_from_env
+
+    if args.straggler_factor is not None and args.straggler_factor < 1.0:
+        raise SystemExit(
+            f"--straggler-factor must be >= 1, got {args.straggler_factor}"
+        )
+    status = CampaignStatus(straggler_factor=args.straggler_factor)
+    if not args.follow:
+        try:
+            status.absorb(read_events(args.journal))
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from None
+        print(render_status(status))
+        return 0
+
+    interval = (
+        args.interval
+        if args.interval is not None
+        else journal_flush_interval_from_env()
+    )
+    if interval <= 0:
+        raise SystemExit(f"--interval must be positive, got {interval}")
+    follower = JournalFollower(args.journal)
+    try:
+        while True:
+            events = follower.poll()
+            if events:
+                status.absorb(events)
+            print(render_status(status))
+            if status.ended:
+                return 0
+            print()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import (
+        DEFAULT_THRESHOLD,
+        compare_runs,
+        load_baseline,
+        render_report,
+        summarize_journal,
+    )
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    if threshold <= 0:
+        raise SystemExit(f"--threshold must be positive, got {threshold}")
+    try:
+        summaries = [summarize_journal(path) for path in args.journals]
+        if args.baseline:
+            baseline = load_baseline(args.baseline)
+            targets = summaries
+        elif len(summaries) > 1:
+            # No explicit baseline: the first journal anchors the rest.
+            baseline, targets = summaries[0], summaries[1:]
+        else:
+            baseline, targets = None, []
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load journal/baseline: {exc}") from None
+    comparisons = None
+    if baseline is not None:
+        comparisons = []
+        for summary in targets:
+            comparisons.extend(compare_runs(summary, baseline, threshold))
+    print(render_report(summaries, comparisons, threshold))
+    regressed = [c for c in comparisons or () if c.regressed]
+    if regressed:
+        print(
+            f"REGRESSION: {len(regressed)} metric(s) drifted past "
+            f"threshold {threshold:g}",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 
@@ -568,6 +751,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
+    "status": _cmd_status,
+    "report": _cmd_report,
     "trace": _cmd_trace,
     "sensitivity": _cmd_sensitivity,
 }
@@ -576,7 +761,14 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro status ... | head`);
+        # detach it so the interpreter's shutdown flush can't raise too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,6 +39,15 @@ from repro.obs.export import (
     to_json,
     write_chrome_trace,
 )
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalFollower,
+    active_journal,
+    journal_env,
+    open_journal,
+    read_events,
+)
 from repro.obs.recorder import (
     MetricsRecorder,
     NullRecorder,
@@ -76,6 +85,13 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "clock",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalFollower",
+    "active_journal",
+    "journal_env",
+    "open_journal",
+    "read_events",
 ]
 
 #: The process-wide metrics registry.  Never replaced — counter scopes

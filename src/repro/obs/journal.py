@@ -1,0 +1,242 @@
+"""Durable campaign telemetry: the append-only JSONL event journal.
+
+Everything :mod:`repro.obs` records lives in one process's memory and
+dies with it.  The journal is the durable complement: one JSONL file per
+campaign (schema :data:`JOURNAL_SCHEMA`) that the conductor *and* every
+worker append to — unit lifecycle events (cached / claimed / executed /
+done / retried / reclaimed), worker heartbeat stamps, lease expiries,
+periodic registry snapshots and postmortem bundles — so a second
+terminal can watch a running campaign (``repro status``), a SIGKILLed
+worker leaves forensic evidence (:mod:`repro.obs.forensics`) and two
+runs can be compared long after both processes exited
+(``repro report``, :mod:`repro.obs.report`).
+
+Design rules:
+
+* **Observe-only.**  Like the recorder, the journal never influences
+  results: sweeps run journal-on and journal-off produce bit-identical
+  ``SweepResult``s, WAR tables and shard-cache bytes (asserted by
+  ``tests/obs/test_journal.py``).
+* **Crash-safe line-atomic appends.**  Every event is one ``write()``
+  of one newline-terminated JSON object on an ``O_APPEND`` descriptor —
+  POSIX guarantees appends land whole and in order, so concurrent
+  writers (conductor + N workers, even across hosts on a shared mount)
+  can never interleave half-lines, and a process killed mid-campaign
+  leaves a journal that is valid up to its last completed event.
+  :func:`read_events` additionally tolerates a damaged tail, because a
+  postmortem is exactly when the journal must still parse.
+* **Env-gated.**  The validated ``REPRO_OBS_JOURNAL`` knob (see
+  :func:`repro.util.env.journal_path_from_env`) is the single switch:
+  the conductor exports it (``--journal`` sets it for the process tree)
+  and forked workers inherit it, so every process agrees on the file
+  without any plumbing through the fabric's interfaces.
+
+Event shape: ``{"ev": <type>, "ts": <wall s>, "mono": <monotonic s>,
+"pid": <writer>}`` plus event-specific fields.  ``mono`` is
+CLOCK_MONOTONIC, system-wide on Linux, so ages and durations computed
+across writer processes are meaningful; ``ts`` labels events for humans
+and cross-host comparison.  The first event of a file is ``open`` and
+carries ``schema``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import clock
+from repro.util.env import journal_path_from_env
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "active_journal",
+    "journal_env",
+    "emit_open",
+    "open_journal",
+    "read_events",
+    "JournalFollower",
+]
+
+#: Format marker written by the ``open`` event; bumped on breaking
+#: changes so readers can refuse journals they do not understand.
+JOURNAL_SCHEMA = "repro-journal/1"
+
+
+class Journal:
+    """One append-only JSONL event sink.
+
+    Cheap to construct (the descriptor opens lazily on first emit) and
+    safe to share across forks: ``O_APPEND`` makes every ``write()``
+    land at the current end of file regardless of inherited offsets.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._pid = os.getpid()
+
+    def _descriptor(self) -> int:
+        # Re-open after a fork: sharing the fd would be correct for
+        # O_APPEND writes, but a child closing it must not sabotage the
+        # parent, so each process owns its descriptor.
+        if self._fd is None or self._pid != os.getpid():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+            self._pid = os.getpid()
+        return self._fd
+
+    def emit(self, ev: str, **fields) -> None:
+        """Append one event; a single atomic ``write()`` per line."""
+        record = {
+            "ev": ev,
+            "ts": round(clock.wall(), 6),
+            "mono": round(clock.monotonic(), 6),
+            "pid": os.getpid(),
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        os.write(self._descriptor(), (line + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None and self._pid == os.getpid():
+            os.close(self._fd)
+        self._fd = None
+
+
+# -- process-wide resolution ----------------------------------------------------
+#: (pid, path) -> Journal the last :func:`active_journal` call produced.
+_CACHE: tuple[int, str, Journal | None] = (-1, "", None)
+
+
+def active_journal() -> Journal | None:
+    """The journal the env knob points at, or ``None`` when off.
+
+    Re-reads ``REPRO_OBS_JOURNAL`` on every call (a dict lookup — the
+    instrumentation sites fire per *unit*, not per task) so
+    fork-inherited module state can never pin a stale path, mirroring
+    :func:`repro.runner.faults.fault_spec_from_env`.
+    """
+    global _CACHE
+    path = journal_path_from_env()
+    pid = os.getpid()
+    cached_pid, cached_path, cached = _CACHE
+    if cached_pid == pid and cached_path == path:
+        return cached
+    journal = Journal(path) if path else None
+    _CACHE = (pid, path, journal)
+    return journal
+
+
+@contextmanager
+def journal_env(path: str | Path | None):
+    """Point ``REPRO_OBS_JOURNAL`` at ``path`` for the duration.
+
+    The env var — not an argument threaded through every fabric layer —
+    is what worker processes inherit, so an explicit ``--journal`` flag
+    or ``run_campaign(journal=...)`` call funnels through here.  ``None``
+    leaves the ambient knob untouched (the "consult the environment"
+    default); the previous value is restored on exit either way.
+    """
+    if path is None:
+        yield active_journal()
+        return
+    previous = os.environ.get("REPRO_OBS_JOURNAL")
+    os.environ["REPRO_OBS_JOURNAL"] = str(path)
+    try:
+        yield active_journal()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_OBS_JOURNAL", None)
+        else:
+            os.environ["REPRO_OBS_JOURNAL"] = previous
+
+
+def emit_open(journal: Journal, **fields) -> None:
+    """Stamp the ``open`` header event (schema + host + python)."""
+    journal.emit(
+        "open",
+        schema=JOURNAL_SCHEMA,
+        host=platform.node(),
+        python=platform.python_version(),
+        **fields,
+    )
+
+
+def open_journal(path: str | Path, **fields) -> Journal:
+    """Create a journal and stamp its ``open`` header event.
+
+    The conductor calls this once per campaign *before* spawning
+    workers; workers only ever append (:func:`active_journal`).
+    """
+    journal = Journal(path)
+    emit_open(journal, **fields)
+    return journal
+
+
+# -- reading ---------------------------------------------------------------------
+def _parse_line(line: bytes) -> dict | None:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        event = json.loads(line)
+    except ValueError:
+        # A damaged line (torn by a dying filesystem, truncated copy,
+        # manual edit) must not take the postmortem down with it.
+        return None
+    return event if isinstance(event, dict) else None
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Every parseable event in the journal, in append order."""
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise FileNotFoundError(f"cannot read journal {path}: {exc}") from None
+    events = []
+    for line in raw.splitlines():
+        event = _parse_line(line)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class JournalFollower:
+    """Incremental reader for ``repro status --follow``.
+
+    Remembers its byte offset between polls and never consumes a
+    partial final line, so tailing a journal that another process is
+    actively appending to yields each event exactly once.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.offset = 0
+
+    def poll(self) -> list[dict]:
+        """The events appended since the last poll (empty when none)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        # Hold back an unterminated tail — a writer is mid-append.
+        complete, sep, _rest = chunk.rpartition(b"\n")
+        if not sep:
+            return []
+        self.offset += len(complete) + 1
+        events = []
+        for line in complete.splitlines():
+            event = _parse_line(line)
+            if event is not None:
+                events.append(event)
+        return events

@@ -4,9 +4,10 @@ One :class:`MetricsRegistry` lives per process (``repro.obs.REGISTRY``).
 Everything it stores is plain picklable data, and every aggregate is
 *mergeable*: a worker process can snapshot its registry, ship the snapshot
 through the pool, and the parent folds it in with :meth:`MetricsRegistry.
-merge` — addition for counters, bucket-wise addition for histograms —
-so the merged result is independent of worker count and arrival order
-(merge is associative and commutative; the test suite asserts this).
+merge` — addition for counters, element-wise max for gauges, bucket-wise
+addition for histograms — so the merged result is independent of worker
+count and arrival order (merge is associative and commutative; the test
+suite asserts this).
 
 Histograms are geometric-bucket sketches, not sample dumps: observing is
 O(1), the state stays tiny no matter how many values stream in, and the
@@ -202,9 +203,22 @@ class MetricsRegistry:
 
     def merge(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` in: counters/histograms add, gauges take
-        the incoming value (last write wins)."""
+        the element-wise **max**.
+
+        Gauges are point-in-time readings, so there is no universally
+        right fold — but last-writer-wins (the old behavior) made the
+        merged value depend on worker *arrival order*, which varies run
+        to run under any parallel backend.  Max is commutative and
+        associative, so the merged registry is deterministic no matter
+        how many workers report or in what order, and for the gauges the
+        fabric actually ships (peak heartbeat age, worker liveness,
+        utilization) the maximum is the honest summary of "what the run
+        saw".  Pinned by the order-shuffled merge test.
+        """
         self.add_counters(snapshot.get("counters", {}))
-        self._gauges.update(snapshot.get("gauges", {}))
+        for name, value in snapshot.get("gauges", {}).items():
+            mine = self._gauges.get(name)
+            self._gauges[name] = value if mine is None else max(mine, value)
         for name, state in snapshot.get("histograms", {}).items():
             histogram = self._histograms.get(name)
             if histogram is None:

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import obs
+from repro.obs.journal import emit_open, journal_env
 from repro.experiments.export import save_figure_result
 from repro.experiments.figures import FIGURES, PAPER_FIGURES, run_figure
 from repro.runner.executor import ExecutorBackend
@@ -179,6 +180,7 @@ def run_campaign(
     pipeline: str = "batched",
     backend: "str | ExecutorBackend | None" = None,
     store: str | None = None,
+    journal: str | Path | None = None,
 ) -> CampaignReport:
     """Execute ``spec``, writing one ``<key>.json`` per figure job.
 
@@ -191,6 +193,13 @@ def run_campaign(
     and ``store`` the shard-store layout (``fs`` / ``object``; default
     consults ``REPRO_RUNNER_STORE``) — outputs and shard payloads are
     identical under every combination.
+
+    ``journal`` names the durable event-journal file (``--journal`` on
+    the CLI); ``None`` consults ``REPRO_OBS_JOURNAL``.  The path is
+    exported through that env knob for the duration, so worker processes
+    inherit it and every writer agrees on the file.  Journaling is
+    observe-only: outputs, WAR tables and shard-cache bytes are
+    bit-identical with it on or off.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -205,27 +214,53 @@ def run_campaign(
     else:
         report.backend = backend or runner_backend_from_env("") or "auto"
     report.store = store_kind
-    with obs.span("campaign", campaign=spec.name):
-        for job in spec.figures:
-            with obs.span("figure", figure=job.figure, key=job.key):
-                result = run_figure(
-                    job.figure,
-                    jobs=jobs,
-                    cache=cache,
-                    progress=progress,
-                    pipeline=pipeline,
-                    backend=backend,
-                    **job.run_kwargs(),
-                )
-            path = out / f"{job.key}.json"
-            save_figure_result(result, path)
-            report.outputs[job.key] = path
-    if progress is not None:
-        progress.finish()
-        progress.write_summary()
+    with journal_env(journal) as jrnl:
+        if jrnl is not None:
+            emit_open(jrnl, campaign=spec.name)
+            jrnl.emit(
+                "campaign-start",
+                campaign=spec.name,
+                figures=[job.key for job in spec.figures],
+                backend=report.backend,
+                store=store_kind,
+            )
+        with obs.span("campaign", campaign=spec.name):
+            for job in spec.figures:
+                if jrnl is not None:
+                    jrnl.emit("figure-start", figure=job.figure, key=job.key)
+                with obs.span("figure", figure=job.figure, key=job.key):
+                    result = run_figure(
+                        job.figure,
+                        jobs=jobs,
+                        cache=cache,
+                        progress=progress,
+                        pipeline=pipeline,
+                        backend=backend,
+                        **job.run_kwargs(),
+                    )
+                path = out / f"{job.key}.json"
+                save_figure_result(result, path)
+                report.outputs[job.key] = path
+                if jrnl is not None:
+                    jrnl.emit(
+                        "figure-done",
+                        figure=job.figure,
+                        key=job.key,
+                        output=str(path),
+                    )
+        if progress is not None:
+            progress.finish()
+            progress.write_summary()
 
-    report.shards_computed = cache.stored
-    report.shards_cached = cache.hits
+        report.shards_computed = cache.stored
+        report.shards_cached = cache.hits
+        if jrnl is not None:
+            jrnl.emit(
+                "campaign-end",
+                campaign=spec.name,
+                shards_computed=report.shards_computed,
+                shards_cached=report.shards_cached,
+            )
     manifest = out / "campaign.json"
     manifest.write_text(
         json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"

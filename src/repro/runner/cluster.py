@@ -30,8 +30,12 @@ last heartbeat age — never a raw traceback from pool internals.
 
 Results travel over a ``SimpleQueue``, whose sends complete in the
 calling thread before ``put`` returns — a worker killed *between* sends
-can never leave a half-written claim behind.  (A worker killed in the
-middle of a send is the one residual race; its units still recover
+can never leave a half-written claim behind.  Claims carry a per-slot
+*generation* stamp: a claim drained after its sender was already reaped
+(the conductor reaps before it polls, and a replacement may occupy the
+slot) is recognized as stale and its unit re-dispatched immediately
+instead of leased to a worker that never took it.  (A worker killed in
+the middle of a send is the one residual race; its units still recover
 through the lease timeout.)  Worker deaths injected for testing go
 through :mod:`repro.runner.faults`, which SIGKILLs mid-shard — after
 the claim, before the outcome — precisely the window the lease/
@@ -49,6 +53,12 @@ from typing import Iterator, Sequence
 
 from repro import obs
 from repro.obs import clock
+from repro.obs.forensics import (
+    assemble_postmortem,
+    describe_postmortem,
+    write_postmortem,
+)
+from repro.obs.journal import active_journal
 from repro.runner import faults
 from repro.runner.executor import (
     ExecutorBackend,
@@ -59,8 +69,13 @@ from repro.runner.executor import (
     pool_context,
     run_unit_observed,
 )
+from repro.runner.store import unit_key
 from repro.runner.units import WorkUnit
-from repro.util.env import heartbeat_interval_from_env, lease_timeout_from_env
+from repro.util.env import (
+    heartbeat_interval_from_env,
+    journal_flush_interval_from_env,
+    lease_timeout_from_env,
+)
 
 __all__ = ["ClusterBackend"]
 
@@ -75,19 +90,38 @@ def _cluster_worker_main(
     result_q,
     heartbeats,
     beat_every: float,
+    generation: int,
 ) -> None:
     """Worker entry point: steal, claim, run, report — until the sentinel.
 
     The claim is sent *before* the unit runs (and before the
     fault-injection hook fires) so the parent always knows which unit a
-    lost worker took down with it.
+    lost worker took down with it.  Each claim carries this worker's
+    ``generation`` stamp so the parent can tell a claim drained *after*
+    the sender was reaped (and a replacement spawned into the slot)
+    from a claim by the slot's current occupant.
+
+    With ``REPRO_OBS_JOURNAL`` set (inherited from the conductor's
+    environment), the worker also journals each claim and a heartbeat
+    stamp every journal-flush interval — the durable trail crash
+    forensics reconstructs a SIGKILLed worker from, since everything in
+    this process's memory dies with it.
     """
     heartbeats[slot] = clock.monotonic()
     stop = threading.Event()
+    flush_every = journal_flush_interval_from_env()
 
     def beat() -> None:
+        journal = active_journal()
+        if journal is not None:
+            journal.emit("heartbeat", slot=slot)
+        last_emit = clock.monotonic()
         while not stop.wait(beat_every):
-            heartbeats[slot] = clock.monotonic()
+            now = clock.monotonic()
+            heartbeats[slot] = now
+            if journal is not None and now - last_emit >= flush_every:
+                journal.emit("heartbeat", slot=slot)
+                last_emit = now
 
     threading.Thread(target=beat, daemon=True).start()
     try:
@@ -96,8 +130,19 @@ def _cluster_worker_main(
             if item is None:
                 return
             seq, pos = item
-            result_q.put(("claim", slot, seq, pos))
+            result_q.put(("claim", slot, seq, pos, generation))
             unit = units[pos]
+            journal = active_journal()
+            if journal is not None:
+                journal.emit(
+                    "claim",
+                    key=unit_key(unit),
+                    label=unit.config.label,
+                    m=unit.config.m,
+                    bucket=unit.bucket,
+                    slot=slot,
+                    seq=seq,
+                )
             try:
                 faults.maybe_inject(unit)
                 outcome, payload = run_unit_observed(unit, "cluster")
@@ -159,6 +204,7 @@ class ClusterBackend(ExecutorBackend):
         self._dispatched_at: dict[int, float] = {}  # seq -> enqueue time
         self._leases: dict[int, tuple[int, float]] = {}  # seq -> (slot, t)
         self._claims: dict[int, set[int]] = {}  # slot -> claimed seqs
+        self._generations: dict[int, int] = {}  # slot -> spawn count
         self._attempts: dict[int, int] = {}  # pos -> dispatch count
         self._redispatch: list[tuple[float, int]] = []  # (due, pos) heap
         self._done: set[int] = set()
@@ -195,9 +241,7 @@ class ClusterBackend(ExecutorBackend):
                 continue
             kind, slot, seq, pos = message[0], message[1], message[2], message[3]
             if kind == "claim":
-                if seq in self._inflight:
-                    self._leases[seq] = (slot, clock.monotonic())
-                    self._claims.setdefault(slot, set()).add(seq)
+                self._record_claim(slot, seq, message[4])
             elif kind == "done":
                 self._release(seq, slot)
                 if pos in self._done:
@@ -243,6 +287,7 @@ class ClusterBackend(ExecutorBackend):
     # -- worker lifecycle -------------------------------------------------------
     def _spawn(self, slot: int, now: float) -> None:
         self._heartbeats[slot] = now
+        self._generations[slot] = self._generations.get(slot, 0) + 1
         proc = self._ctx.Process(
             target=_cluster_worker_main,
             args=(
@@ -252,6 +297,7 @@ class ClusterBackend(ExecutorBackend):
                 self._result_q,
                 self._heartbeats,
                 self.heartbeat_interval / 4.0,
+                self._generations[slot],
             ),
             daemon=True,
         )
@@ -287,6 +333,9 @@ class ClusterBackend(ExecutorBackend):
             self._leases.pop(seq, None)
             self._dispatched_at.pop(seq, None)
             if pos is not None and pos not in self._done:
+                self.observer.unit_reclaimed(
+                    self._units[pos], slot, heartbeat_age
+                )
                 self._retry_or_fail(pos, heartbeat_age=heartbeat_age)
         if not self._shutdown:
             self._spawn(slot, now)
@@ -301,6 +350,31 @@ class ClusterBackend(ExecutorBackend):
         self._inflight[seq] = pos
         self._dispatched_at[seq] = now
         self._task_q.put((seq, pos))
+
+    def _record_claim(self, slot: int, seq: int, generation: int) -> None:
+        """Lease the unit to its claimer — unless the claimer is dead.
+
+        A claim can be drained from the result channel *after* its
+        sender was reaped and a replacement spawned into the same slot
+        (the conductor reaps before it polls).  Leasing it then would
+        park the unit on a worker that never took it, stalling the run
+        until the lease times out.  A stale generation stamp identifies
+        that wreck: the unit died with its claimer, so reclaim it on
+        the spot.
+        """
+        pos = self._inflight.get(seq)
+        if pos is None:
+            return
+        if generation == self._generations.get(slot):
+            self._leases[seq] = (slot, clock.monotonic())
+            self._claims.setdefault(slot, set()).add(seq)
+            return
+        self._inflight.pop(seq, None)
+        self._leases.pop(seq, None)
+        self._dispatched_at.pop(seq, None)
+        if pos not in self._done:
+            self.observer.unit_reclaimed(self._units[pos], slot, 0.0)
+            self._retry_or_fail(pos)
 
     def _release(self, seq: int, slot: int) -> None:
         self._inflight.pop(seq, None)
@@ -318,11 +392,13 @@ class ClusterBackend(ExecutorBackend):
         everything else it claimed).  An *unclaimed* dispatch this old
         means the claim was lost with a dying worker — re-dispatch it.
         """
-        expired_slots = {
-            slot
-            for seq, (slot, since) in self._leases.items()
-            if now - since > self.lease_timeout
-        }
+        expired_slots = set()
+        for seq, (slot, since) in self._leases.items():
+            if now - since > self.lease_timeout:
+                expired_slots.add(slot)
+                pos = self._inflight.get(seq)
+                if pos is not None:
+                    self.observer.lease_expired(self._units[pos], slot)
         for slot in expired_slots:
             self._lose_worker(slot, now - self._heartbeats[slot], now)
         for seq, since in list(self._dispatched_at.items()):
@@ -342,11 +418,28 @@ class ClusterBackend(ExecutorBackend):
     ) -> None:
         attempts = self._attempts[pos]
         if attempts >= self.max_attempts:
+            unit = self._units[pos]
+            detail = detail or "worker lost (killed, hung or unreachable)"
+            postmortem = None
+            journal = active_journal()
+            if journal is not None:
+                # Stamp the give-up first so the bundle's reference time
+                # is the moment the conductor acted, then assemble the
+                # forensics from the durable record and dump them next
+                # to the journal.
+                key = unit_key(unit)
+                journal.emit("crash", key=key, attempts=attempts, detail=detail)
+                postmortem = assemble_postmortem(str(journal.path), key)
+                path = write_postmortem(postmortem, journal.path.parent)
+                detail += "\n" + describe_postmortem(postmortem, path)
+                if heartbeat_age is None:
+                    heartbeat_age = postmortem.get("last_heartbeat_age")
             raise WorkerCrashError(
-                self._units[pos],
+                unit,
                 attempts=attempts,
                 heartbeat_age=heartbeat_age,
-                detail=detail or "worker lost (killed, hung or unreachable)",
+                detail=detail,
+                postmortem=postmortem,
             )
         self._attempts[pos] = attempts + 1
         self.stats["retries"] += 1

@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import obs
 from repro.obs import clock
+from repro.obs.forensics import assemble_postmortem
+from repro.obs.journal import active_journal
 from repro.experiments.acceptance import BucketOutcome
 from repro.runner.store import unit_key
 from repro.runner.units import WorkUnit, run_unit
@@ -94,8 +96,10 @@ class WorkerCrashError(RuntimeError):
     traceback: the failing :class:`WorkUnit` and its content key (the
     shard the campaign is missing), how many attempts were made, the age
     of the responsible worker's last heartbeat when it was given up on,
-    and the last error detail (a formatted worker traceback for an
-    exception, or a liveness description for a killed/hung worker).
+    the last error detail (a formatted worker traceback for an
+    exception, or a liveness description for a killed/hung worker) and —
+    when an event journal was active — the full postmortem bundle the
+    conductor assembled from it (:mod:`repro.obs.forensics`).
     """
 
     def __init__(
@@ -105,12 +109,14 @@ class WorkerCrashError(RuntimeError):
         attempts: int,
         heartbeat_age: float | None = None,
         detail: str = "",
+        postmortem: dict | None = None,
     ):
         self.unit = unit
         self.unit_key = unit_key(unit)
         self.attempts = attempts
         self.heartbeat_age = heartbeat_age
         self.detail = detail
+        self.postmortem = postmortem
         age = (
             f", last heartbeat {heartbeat_age:.2f}s ago"
             if heartbeat_age is not None
@@ -129,14 +135,18 @@ class WorkerCrashError(RuntimeError):
 
 @dataclass
 class FabricObserver:
-    """Bridges backend lifecycle events to progress + obs.
+    """Bridges backend lifecycle events to progress + obs + the journal.
 
     Backends call these hooks; the observer fans them out to the
-    (optional) :class:`~repro.runner.progress.ProgressReporter` and, when
-    recording is on, the obs registry (``runner.retries`` /
+    (optional) :class:`~repro.runner.progress.ProgressReporter`, to the
+    obs registry when recording is on (``runner.retries`` /
     ``runner.lost-workers`` counters, worker liveness and heartbeat-age
-    gauges).  A default-constructed observer is a cheap no-op sink, so
-    backends never need ``if observer`` checks.
+    gauges), and to the event journal when ``REPRO_OBS_JOURNAL`` is set
+    (``retry`` / ``reclaim`` / ``worker-lost`` / ``workers`` /
+    ``lease-expired`` events; on every reclaim the postmortem bundle is
+    journaled too, so forensic evidence survives even when the retry
+    eventually succeeds).  A default-constructed observer is a cheap
+    no-op sink, so backends never need ``if observer`` checks.
     """
 
     progress: "ProgressReporter | None" = None
@@ -146,16 +156,62 @@ class FabricObserver:
             obs.REGISTRY.add("runner.retries")
         if self.progress is not None:
             self.progress.unit_retried()
+        journal = active_journal()
+        if journal is not None:
+            journal.emit(
+                "retry",
+                key=unit_key(unit),
+                label=unit.config.label,
+                m=unit.config.m,
+                bucket=unit.bucket,
+                attempt=attempt,
+            )
+
+    def unit_reclaimed(
+        self, unit: WorkUnit, slot: int, heartbeat_age: float | None
+    ) -> None:
+        """A leased unit was taken back from a dead/wedged worker."""
+        journal = active_journal()
+        if journal is None:
+            return
+        key = unit_key(unit)
+        journal.emit(
+            "reclaim",
+            key=key,
+            label=unit.config.label,
+            m=unit.config.m,
+            bucket=unit.bucket,
+            slot=slot,
+            heartbeat_age=heartbeat_age,
+        )
+        # Durable forensics even when the re-dispatch later succeeds:
+        # the bundle rides the journal, not a file per reclaim.
+        journal.emit(
+            "postmortem", key=key, bundle=assemble_postmortem(str(journal.path), key)
+        )
+
+    def lease_expired(self, unit: WorkUnit, slot: int) -> None:
+        journal = active_journal()
+        if journal is not None:
+            journal.emit("lease-expired", key=unit_key(unit), slot=slot)
 
     def worker_lost(self, worker: int, heartbeat_age: float | None) -> None:
         if obs.active():
             obs.REGISTRY.add("runner.lost-workers")
+        if self.progress is not None:
+            self.progress.worker_lost()
+        journal = active_journal()
+        if journal is not None:
+            journal.emit("worker-lost", slot=worker, heartbeat_age=heartbeat_age)
 
     def workers_changed(self, alive: int, total: int) -> None:
         if obs.active():
             obs.REGISTRY.set_gauge("runner.workers-alive", alive)
         if self.progress is not None:
             self.progress.set_workers(alive, total)
+        journal = active_journal()
+        if journal is not None:
+            journal.emit("workers", alive=alive, total=total)
 
     def heartbeat_age(self, age: float) -> None:
         if obs.active():
@@ -168,7 +224,26 @@ def timed_unit(unit: WorkUnit, backend: str) -> BucketOutcome:
 
     On Linux ``fork`` workers CLOCK_MONOTONIC is system-wide, so worker
     span timestamps land on the same trace axis as the parent's.
+
+    With a journal active, the executing process (worker or conductor —
+    this is the one instrumentation site every backend funnels through)
+    brackets the run with ``exec-start``/``exec-done`` events; the
+    latter carries the shard seconds that feed ``repro status``'s
+    latency quantiles and, under tracing, a census of the spans this
+    unit shipped (the "last shipped spans" a postmortem reports).
     """
+    journal = active_journal()
+    key = unit_key(unit) if journal is not None else ""
+    if journal is not None:
+        journal.emit(
+            "exec-start",
+            key=key,
+            label=unit.config.label,
+            m=unit.config.m,
+            bucket=unit.bucket,
+            backend=backend,
+        )
+    prior_spans = len(obs.spans()) if journal is not None and obs.tracing() else 0
     start = clock.monotonic()
     with obs.span(
         "shard",
@@ -178,8 +253,26 @@ def timed_unit(unit: WorkUnit, backend: str) -> BucketOutcome:
         backend=backend,
     ):
         outcome = run_unit(unit)
+    seconds = clock.monotonic() - start
     if obs.active():
-        obs.REGISTRY.observe("runner.shard-seconds", clock.monotonic() - start)
+        obs.REGISTRY.observe("runner.shard-seconds", seconds)
+    if journal is not None:
+        extra = {}
+        if obs.tracing():
+            census: dict[str, int] = {}
+            for record in obs.spans()[prior_spans:]:
+                census[record.name] = census.get(record.name, 0) + 1
+            extra["spans"] = census
+        journal.emit(
+            "exec-done",
+            key=key,
+            label=unit.config.label,
+            m=unit.config.m,
+            bucket=unit.bucket,
+            backend=backend,
+            seconds=round(seconds, 6),
+            **extra,
+        )
     return outcome
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from repro import obs
+from repro.obs import clock
+from repro.obs.journal import active_journal
 from repro.experiments.acceptance import (
     BucketOutcome,
     SweepConfig,
@@ -33,7 +35,9 @@ from repro.runner.executor import (
     default_jobs,
     resolve_backend,
 )
+from repro.runner.store import unit_key
 from repro.runner.units import WorkUnit, decompose_sweep
+from repro.util.env import journal_flush_interval_from_env
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runner.progress import ProgressReporter
@@ -58,6 +62,12 @@ def execute_units(
     in-process serial unless ``jobs > 1``).  Every backend produces
     bit-identical outcomes; the serial path is what the others are
     verified against.
+
+    With ``REPRO_OBS_JOURNAL`` set, the conductor journals the sweep's
+    shape (``sweep-start`` with unit/cached counts), each merged outcome
+    (``done``) and a registry ``snapshot`` every journal-flush interval —
+    all observe-only: outcomes, cache writes and merge order are
+    untouched, which the journal differential suite asserts.
     """
     if progress is not None:
         progress.add_total(len(units))
@@ -73,6 +83,18 @@ def execute_units(
         else:
             pending.append(idx)
 
+    journal = active_journal()
+    if journal is not None and units:
+        config = units[0].config
+        journal.emit(
+            "sweep-start",
+            label=config.label,
+            m=config.m,
+            units=len(units),
+            cached=len(units) - len(pending),
+            pending=len(pending),
+        )
+
     def record(idx: int, outcome: BucketOutcome) -> None:
         outcomes[idx] = outcome
         if cache is not None:
@@ -81,6 +103,8 @@ def execute_units(
             progress.unit_done()
 
     if pending:
+        flush_every = journal_flush_interval_from_env()
+        last_snapshot = clock.monotonic()
         executor = resolve_backend(
             backend,
             jobs=jobs,
@@ -93,9 +117,25 @@ def execute_units(
                 if result.payload is not None:
                     obs.absorb_payload(result.payload)
                 record(pending[result.pos], result.outcome)
+                if journal is not None:
+                    unit = units[pending[result.pos]]
+                    journal.emit(
+                        "done",
+                        key=unit_key(unit),
+                        label=unit.config.label,
+                        m=unit.config.m,
+                        bucket=unit.bucket,
+                    )
+                    now = clock.monotonic()
+                    if now - last_snapshot >= flush_every:
+                        journal.emit("snapshot", registry=obs.snapshot())
+                        last_snapshot = now
         finally:
             executor.shutdown()
 
+    if journal is not None and units:
+        config = units[0].config
+        journal.emit("sweep-done", label=config.label, m=config.m)
     return [outcome for outcome in outcomes if outcome is not None]
 
 

@@ -6,7 +6,8 @@ line on a stream (stderr by default) with completion counts, cache hits,
 fault-recovery retries, executor worker liveness and a smoothed ETA
 merged across however many sweeps (and whichever backend) the campaign
 runs.  It is intentionally dumb and injectable — a plain object with
-``add_total``/``unit_done``/``unit_retried``/``set_workers``/``finish``
+``add_total``/``unit_done``/``unit_retried``/``worker_lost``/
+``set_workers``/``finish``
 — so the fabric can drive it without knowing about terminals, and tests
 can drive it with a fake clock and a ``StringIO``.
 """
@@ -59,6 +60,7 @@ class ProgressReporter:
         self.completed = 0
         self.cached = 0
         self.retried = 0
+        self.lost = 0
         self.workers_alive: int | None = None
         self.workers_total: int | None = None
 
@@ -85,6 +87,14 @@ class ProgressReporter:
         real remaining work across whatever backend is executing it.
         """
         self.retried += 1
+        self._render()
+
+    def worker_lost(self) -> None:
+        """Record one executor worker declared dead (killed, hung or
+        heartbeat-stale) and replaced; its claimed shards were reclaimed
+        and re-dispatched, so like retries this never touches ``total``.
+        """
+        self.lost += 1
         self._render()
 
     def set_workers(self, alive: int, total: int) -> None:
@@ -116,6 +126,9 @@ class ProgressReporter:
             extras.append(f"{self.cached} from cache")
         if self.retried:
             extras.append(f"{self.retried} retried")
+        if self.lost:
+            word = "worker" if self.lost == 1 else "workers"
+            extras.append(f"{self.lost} {word} lost/reclaimed")
         if extras:
             line += f" ({', '.join(extras)})"
         return line
@@ -141,6 +154,8 @@ class ProgressReporter:
             parts.append(f"{self.cached} cached")
         if self.retried:
             parts.append(f"{self.retried} retried")
+        if self.lost:
+            parts.append(f"{self.lost} lost")
         if (
             self.workers_total is not None
             and self.completed < self.total

@@ -1,0 +1,123 @@
+"""Postmortem assembly from synthetic journals.
+
+The end-to-end fault-injection path (a really-SIGKILLed worker under
+``REPRO_OBS_JOURNAL``) lives in ``tests/runner/test_fault_injection.py``;
+here the pure assembly is pinned against hand-built event streams where
+every field of the bundle has a known right answer.
+"""
+
+import json
+
+from repro.obs.forensics import (
+    POSTMORTEM_SCHEMA,
+    assemble_postmortem,
+    describe_postmortem,
+    write_postmortem,
+)
+
+KEY = "deadbeefdeadbeef"
+
+
+def ev(kind: str, mono: float, pid: int = 1, **fields) -> dict:
+    return {"ev": kind, "mono": mono, "ts": 1000.0 + mono, "pid": pid,
+            **fields}
+
+
+def crash_story() -> list[dict]:
+    """A worker (pid 77, slot 1) claims KEY twice and dies both times."""
+    return [
+        ev("open", 0.0, schema="repro-journal/1"),
+        ev("heartbeat", 0.5, pid=77, slot=1),
+        ev("claim", 1.0, pid=77, key=KEY, label="fig3", m=2, slot=1, seq=4),
+        ev("heartbeat", 1.5, pid=77, slot=1),
+        ev("exec-start", 1.6, pid=77, key=KEY, label="fig3", m=2),
+        ev("worker-lost", 3.0, slot=1, heartbeat_age=1.5),
+        ev("reclaim", 3.0, key=KEY, label="fig3", m=2, slot=1,
+           heartbeat_age=1.5),
+        ev("retry", 3.0, key=KEY, label="fig3", m=2, attempt=2),
+        ev("claim", 3.5, pid=77, key=KEY, label="fig3", m=2, slot=1, seq=9),
+        ev("worker-lost", 6.0, slot=1, heartbeat_age=2.5),
+        ev("crash", 6.0, key=KEY, attempts=2, detail="worker lost"),
+    ]
+
+
+class TestAssembly:
+    def test_bundle_pins_the_cause(self):
+        bundle = assemble_postmortem(crash_story(), KEY)
+        assert bundle["schema"] == POSTMORTEM_SCHEMA
+        assert bundle["unit"] == KEY
+        assert bundle["attempts"] == 2
+        assert bundle["last_claim"]["seq"] == 9
+        assert bundle["worker"] == {"slot": 1, "pid": 77}
+        # last sign of life: the second claim at mono 3.5; the conductor
+        # acted at the crash event, mono 6.0
+        assert bundle["last_heartbeat_age"] == 2.5
+        assert len(bundle["worker_lost"]) == 2
+        assert [e["ev"] for e in bundle["timeline"]] == [
+            "claim", "exec-start", "reclaim", "retry", "claim", "crash",
+        ]
+
+    def test_heartbeats_filtered_by_worker_and_capped(self):
+        events = crash_story()
+        events += [ev("heartbeat", 2.0 + i, pid=99, slot=0)
+                   for i in range(40)]
+        bundle = assemble_postmortem(events, KEY)
+        assert all(h["pid"] == 77 for h in bundle["heartbeats"])
+        assert len(bundle["heartbeats"]) == 2
+
+    def test_last_spans_from_workers_final_shard(self):
+        events = crash_story()
+        events.insert(
+            5,
+            ev("exec-done", 2.0, pid=77, key="otherunit", label="fig3", m=2,
+               seconds=0.4, spans={"shard": 1, "partition": 12}),
+        )
+        bundle = assemble_postmortem(events, KEY)
+        assert bundle["last_spans"]["key"] == "otherunit"
+        assert bundle["last_spans"]["spans"] == {"shard": 1, "partition": 12}
+
+    def test_degrades_on_an_empty_journal(self):
+        bundle = assemble_postmortem([], KEY)
+        assert bundle["unit"] == KEY
+        assert bundle["attempts"] == 1
+        assert bundle["last_claim"] is None
+        assert bundle["last_heartbeat_age"] is None
+        assert bundle["heartbeats"] == []
+
+    def test_reads_from_a_file_too(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            "".join(json.dumps(e) + "\n" for e in crash_story())
+        )
+        assert assemble_postmortem(str(path), KEY)["attempts"] == 2
+
+    def test_fault_context_names_markers(self, tmp_path, monkeypatch):
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        (marker_dir / f"{KEY}.crash").touch()
+        (marker_dir / "otherunit.crash").touch()
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:rate=0.3")
+        monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(marker_dir))
+        bundle = assemble_postmortem(crash_story(), KEY)
+        assert bundle["fault"]["spec"] == "crash:rate=0.3"
+        assert bundle["fault"]["markers"] == [f"{KEY}.crash"]
+
+
+class TestArtifacts:
+    def test_write_postmortem_names_the_unit(self, tmp_path):
+        bundle = assemble_postmortem(crash_story(), KEY)
+        path = write_postmortem(bundle, tmp_path / "out")
+        assert path.name == f"postmortem-{KEY[:12]}.json"
+        assert json.loads(path.read_text())["unit"] == KEY
+
+    def test_describe_is_one_forensic_paragraph(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:all")
+        monkeypatch.delenv("REPRO_RUNNER_FAULT_DIR", raising=False)
+        bundle = assemble_postmortem(crash_story(), KEY)
+        text = describe_postmortem(bundle, tmp_path / "pm.json")
+        assert KEY[:12] in text
+        assert "slot 1" in text and "pid 77" in text
+        assert "2 attempt(s)" in text
+        assert "2.50s" in text
+        assert "crash:all" in text
+        assert str(tmp_path / "pm.json") in text

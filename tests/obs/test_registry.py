@@ -101,11 +101,38 @@ class TestRegistry:
         r.add("k.n", 5)  # e.g. a merged worker snapshot
         assert r.counters()["k.n"] == 7
 
-    def test_gauges_last_write_wins(self):
+    def test_gauges_merge_by_max(self):
         r = MetricsRegistry()
         r.set_gauge("g", 1.0)
         r.merge({"gauges": {"g": 2.5}})
         assert r.gauges() == {"g": 2.5}
+        # a lower incoming reading never clobbers the peak...
+        r.merge({"gauges": {"g": 0.25}})
+        assert r.gauges() == {"g": 2.5}
+        # ...and unseen gauges are adopted
+        r.merge({"gauges": {"other": 0.5}})
+        assert r.gauges()["other"] == 0.5
+
+    def test_gauge_merge_is_order_independent(self):
+        """The satellite bug: last-writer-wins gauges made the merged
+        registry depend on worker arrival order.  Shuffled fold orders
+        of the same worker snapshots must now agree exactly."""
+        snaps = [
+            {"gauges": {"runner.heartbeat-age": age, f"w{i}.only": float(i)}}
+            for i, age in enumerate([0.75, 0.1, 2.5, 0.4])
+        ]
+
+        def folded(order):
+            r = MetricsRegistry()
+            for i in order:
+                r.merge(snaps[i])
+            return r.gauges()
+
+        import itertools
+
+        results = [folded(order) for order in itertools.permutations(range(4))]
+        assert all(res == results[0] for res in results)
+        assert results[0]["runner.heartbeat-age"] == 2.5
 
     def test_merge_is_associative_and_commutative(self):
         def make(seed):

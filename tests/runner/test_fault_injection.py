@@ -113,6 +113,45 @@ class TestCrashRecovery:
         assert backend.stats["retries"] >= 1
 
 
+class TestStaleClaims:
+    def test_stale_generation_claim_is_reclaimed_not_leased(self):
+        """The orphaned-claim race, pinned at the conductor's claim
+        handler: a claim drained after its sender was reaped arrives
+        stamped with the dead worker's generation while a replacement
+        (same slot, newer generation) is already running.  Leasing it
+        would stall the unit until the lease timeout — it must instead
+        re-dispatch immediately.
+        """
+        backend = ClusterBackend(2)
+        backend._units = decompose_sweep(CONFIG, ALGOS)[:2]
+        backend._generations = {0: 2, 1: 1}  # slot 0 was respawned once
+        backend._attempts = {0: 1, 1: 1}
+        backend._inflight = {5: 0, 6: 1}
+        backend._dispatched_at = {5: 0.0, 6: 0.0}
+
+        backend._record_claim(0, 5, 1)  # generation 1 < current 2: stale
+        assert 5 not in backend._leases
+        assert 5 not in backend._inflight, "stale claim must release the seq"
+        assert backend.stats["retries"] == 1
+        assert backend._redispatch, "the orphaned unit must re-dispatch"
+
+        backend._record_claim(1, 6, 1)  # current generation: normal lease
+        assert backend._leases[6][0] == 1
+        assert 6 in backend._claims[1]
+
+    def test_workers_carry_their_generation_in_claims(self, tmp_path, monkeypatch):
+        """End-to-end: a journaled faulted run finishes without waiting
+        out any lease — every lost claim is recovered promptly."""
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:rate=0.5")
+        monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path / "markers"))
+        backend = ClusterBackend(2, heartbeat_interval=0.2, lease_timeout=30.0)
+        start = time.monotonic()
+        run_sweep(CONFIG, ALGOS, jobs=2, backend=backend)
+        assert backend.stats["lost_workers"] >= 1
+        # well under the 30s lease: no unit sat out a timeout
+        assert time.monotonic() - start < 15.0
+
+
 class TestHangRecovery:
     def test_hung_worker_reclaimed_via_lease_timeout(
         self, serial, doomed_bucket, tmp_path, monkeypatch
@@ -168,6 +207,82 @@ class TestGiveUp:
         assert err.attempts == 1
         assert err.unit_key == unit_key(unit)
         assert "ValueError" in err.detail
+
+
+class TestForensics:
+    """With a journal active, crashes leave a durable postmortem trail."""
+
+    def test_give_up_carries_a_postmortem_pinning_the_cause(
+        self, doomed_bucket, tmp_path, monkeypatch
+    ):
+        """Acceptance criterion: the bundle names the killed unit, the
+        attempt count and the heartbeat age — and the injected fault."""
+        journal_path = tmp_path / "journal.jsonl"
+        fault = f"crash:bucket={doomed_bucket}"
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", fault)
+        monkeypatch.delenv("REPRO_RUNNER_FAULT_DIR", raising=False)
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", str(journal_path))
+        backend = ClusterBackend(
+            2, heartbeat_interval=0.2, lease_timeout=30.0, max_attempts=2
+        )
+        doomed = [u for u in decompose_sweep(CONFIG, ALGOS)
+                  if u.bucket == doomed_bucket]
+        with pytest.raises(WorkerCrashError) as excinfo:
+            execute_units(doomed, jobs=2, backend=backend)
+        err = excinfo.value
+        bundle = err.postmortem
+        assert bundle is not None
+        assert bundle["unit"] == err.unit_key == unit_key(doomed[0])
+        assert bundle["attempts"] == err.attempts == 2
+        assert bundle["last_heartbeat_age"] is not None
+        assert bundle["fault"]["spec"] == fault
+        assert bundle["last_claim"]["key"] == err.unit_key
+        # a worker really claimed it before dying
+        assert bundle["worker"]["pid"] is not None
+        # the bundle was dumped next to the journal, and the error's
+        # detail points a human at it
+        dump = journal_path.parent / f"postmortem-{err.unit_key[:12]}.json"
+        assert dump.is_file()
+        assert "postmortem for unit" in err.detail
+        assert str(dump) in err.detail
+        # the give-up itself is durable
+        from repro.obs.journal import read_events
+
+        crashes = [e for e in read_events(journal_path) if e["ev"] == "crash"]
+        assert crashes and crashes[-1]["key"] == err.unit_key
+        assert crashes[-1]["attempts"] == 2
+
+    def test_every_reclaim_journals_forensics(
+        self, serial, doomed_bucket, tmp_path, monkeypatch
+    ):
+        """Even when the retry succeeds, the reclaim's evidence survives
+        in the journal: bundle + marker naming the injected fault."""
+        journal_path = tmp_path / "journal.jsonl"
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", f"crash:bucket={doomed_bucket}")
+        monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path / "markers"))
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", str(journal_path))
+        backend = ClusterBackend(2, heartbeat_interval=0.2, lease_timeout=30.0)
+        result = run_sweep(CONFIG, ALGOS, jobs=2, backend=backend)
+        assert result == serial  # journaling + forensics stay observe-only
+
+        from repro.obs.journal import read_events
+
+        events = read_events(journal_path)
+        doomed_keys = {
+            unit_key(u) for u in decompose_sweep(CONFIG, ALGOS)
+            if u.bucket == doomed_bucket
+        }
+        reclaims = [e for e in events if e["ev"] == "reclaim"]
+        assert {e["key"] for e in reclaims} <= doomed_keys
+        assert reclaims, "the injected crash must force a reclaim"
+        bundles = [e["bundle"] for e in events if e["ev"] == "postmortem"]
+        assert bundles
+        for bundle in bundles:
+            assert bundle["unit"] in doomed_keys
+            assert bundle["last_claim"] is not None
+            assert f"{bundle['unit']}.crash" in bundle["fault"]["markers"]
+        # no postmortem files for recovered units — only give-ups dump
+        assert not list(journal_path.parent.glob("postmortem-*.json"))
 
 
 class TestFaultSpecParsing:

@@ -101,6 +101,38 @@ class TestReporter:
         reporter.unit_done()
         assert reporter.summary_line() == "fig4: 1 shard in 42s"
 
+    def test_lost_workers_in_status_and_summary(self):
+        """Satellite: cluster fault history summarizes without the journal."""
+        reporter, _, clock = make(label="fig3")
+        reporter.add_total(4)
+        reporter.unit_retried()
+        reporter.worker_lost()
+        clock.now = 10.0
+        for _ in range(4):
+            reporter.unit_done()
+        assert reporter.lost == 1
+        assert "1 retried" in reporter.status_line()
+        assert "1 lost" in reporter.status_line()
+        summary = reporter.summary_line()
+        assert "1 retried" in summary
+        assert "1 worker lost/reclaimed" in summary
+
+    def test_lost_workers_pluralize(self):
+        reporter, _, clock = make(label="fig3")
+        reporter.add_total(1)
+        reporter.worker_lost()
+        reporter.worker_lost()
+        clock.now = 1.0
+        reporter.unit_done()
+        assert "2 workers lost/reclaimed" in reporter.summary_line()
+
+    def test_no_lost_suffix_on_clean_runs(self):
+        reporter, _, clock = make(label="fig3")
+        reporter.add_total(1)
+        clock.now = 1.0
+        reporter.unit_done()
+        assert "lost" not in reporter.summary_line()
+
     def test_write_summary_appends_line(self):
         reporter, stream, clock = make()
         reporter.add_total(1)

@@ -1,0 +1,61 @@
+"""The committed BENCH_telemetry.json must stay parseable and honest.
+
+The telemetry benchmark records the journal's wall-clock overhead for
+the serial and cluster backends on the fig3 slice; the ISSUE caps it at
+5%.  This check keeps a malformed artifact — or one that quietly blew
+the overhead budget — from landing silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_telemetry.json"
+
+REQUIRED_MODE_KEYS = {"jobs", "off_s", "on_s", "overhead_factor", "shards_per_sec"}
+REQUIRED_JOURNAL_KEYS = {
+    "schema",
+    "events_per_shard",
+    "bytes_per_shard",
+    "summarized_shards_per_sec",
+}
+
+#: The committed artifact may keep a small grace over the 1.05x gate the
+#: benchmark itself enforces (sub-second noise on 1-CPU runners), but a
+#: recorded factor past this means the journal genuinely got expensive.
+COMMITTED_CEILING = 1.10
+
+
+def test_bench_telemetry_json_parses():
+    data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    assert data["figure"] == "fig3"
+    assert data["samples_per_bucket"] > 0
+    assert data["shards"] > 0
+    assert data["m_values"] and all(m > 0 for m in data["m_values"])
+    assert data["host"]["cpus"] >= 1
+    assert data["max_overhead"] == 1.05
+
+    modes = data["modes"]
+    assert set(modes) == {"serial", "cluster"}
+    for name, row in modes.items():
+        missing = REQUIRED_MODE_KEYS - set(row)
+        assert not missing, f"{name} missing {sorted(missing)}"
+        assert row["jobs"] >= 1
+        assert row["off_s"] > 0 and row["on_s"] > 0
+        assert row["shards_per_sec"] > 0
+        assert 0 < row["overhead_factor"] < COMMITTED_CEILING, (
+            f"{name}: recorded journal overhead {row['overhead_factor']}x"
+        )
+    assert modes["serial"]["jobs"] == 1
+    assert modes["cluster"]["jobs"] > 1
+
+    journal = data["journal"]
+    missing = REQUIRED_JOURNAL_KEYS - set(journal)
+    assert not missing, f"journal missing {sorted(missing)}"
+    assert journal["schema"] == "repro-journal/1"
+    # every executed shard leaves at least exec-start/exec-done/done
+    assert journal["events_per_shard"] >= 3
+    assert journal["bytes_per_shard"] > 0
+    assert journal["summarized_shards_per_sec"] > 0

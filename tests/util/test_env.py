@@ -8,8 +8,11 @@ from repro.util.env import (
     RUNNER_STORES,
     approx_k_from_env,
     heartbeat_interval_from_env,
+    journal_flush_interval_from_env,
+    journal_path_from_env,
     lease_timeout_from_env,
     m_values_from_env,
+    straggler_factor_from_env,
     obs_mode_from_env,
     positive_float_env,
     positive_int_env,
@@ -145,6 +148,56 @@ class TestClusterTimingKnobs:
         monkeypatch.setenv(knob, bad)
         with pytest.raises(ValueError, match=knob):
             reader()
+
+
+class TestJournalKnobs:
+    def test_journal_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_JOURNAL", raising=False)
+        assert journal_path_from_env() == ""
+        assert journal_path_from_env("fallback.jsonl") == "fallback.jsonl"
+
+    def test_journal_path_parses(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", path)
+        assert journal_path_from_env() == path
+
+    @pytest.mark.parametrize("bad", [" padded.jsonl", "trailing.jsonl ", "  "])
+    def test_journal_rejects_malformed_paths(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", bad)
+        with pytest.raises(ValueError, match="REPRO_OBS_JOURNAL"):
+            journal_path_from_env()
+
+    def test_journal_rejects_directories(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", str(tmp_path))
+        with pytest.raises(ValueError, match="REPRO_OBS_JOURNAL"):
+            journal_path_from_env()
+
+    def test_flush_interval_default_and_parse(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_JOURNAL_FLUSH", raising=False)
+        assert journal_flush_interval_from_env() == 2.0
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_FLUSH", "0.25")
+        assert journal_flush_interval_from_env() == 0.25
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "often"])
+    def test_flush_interval_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_FLUSH", bad)
+        with pytest.raises(ValueError, match="REPRO_OBS_JOURNAL_FLUSH"):
+            journal_flush_interval_from_env()
+
+    def test_straggler_factor_default_and_parse(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_STRAGGLER", raising=False)
+        assert straggler_factor_from_env() == 4.0
+        monkeypatch.setenv("REPRO_OBS_STRAGGLER", "2.5")
+        assert straggler_factor_from_env() == 2.5
+        monkeypatch.setenv("REPRO_OBS_STRAGGLER", "1")
+        assert straggler_factor_from_env() == 1.0
+
+    @pytest.mark.parametrize("bad", ["0", "-4", "0.5", "0.999", "lots"])
+    def test_straggler_factor_rejects_invalid(self, monkeypatch, bad):
+        """Below 1 would flag faster-than-typical units — always a typo."""
+        monkeypatch.setenv("REPRO_OBS_STRAGGLER", bad)
+        with pytest.raises(ValueError, match="REPRO_OBS_STRAGGLER"):
+            straggler_factor_from_env()
 
 
 class TestPositiveFloatEnv:
