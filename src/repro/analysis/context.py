@@ -39,6 +39,15 @@ accumulator maintained in the exact evaluation order of the from-scratch
 code or a memoized pure-function result, the incremental path produces
 bit-identical verdicts, virtual deadlines and sweep results — a property
 the differential test suite asserts rather than assumes.
+
+Demand-kernel independence
+--------------------------
+Context memo keys never encode the active demand kernel
+(:func:`repro.analysis.dbf.demand_kernel`): the ``forward``, ``qpa`` and
+``vec`` kernels are verdict-identical decision procedures over the same
+demand functions, so a memoized result is valid under any of them and
+switching kernels mid-session cannot poison a context.  Only cost differs —
+the kernel decides *how* a probe is settled, never *what* it settles to.
 """
 
 from __future__ import annotations

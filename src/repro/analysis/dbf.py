@@ -88,7 +88,11 @@ import numpy as np
 
 from repro.model import MCTask, TaskSet
 from repro.obs import REGISTRY as _OBS_REGISTRY
-from repro.util.env import approx_k_from_env, scan_chunk_from_env
+from repro.util.env import (
+    approx_k_from_env,
+    demand_kernel_from_env,
+    scan_chunk_from_env,
+)
 
 __all__ = [
     "DEFAULT_HORIZON_CAP",
@@ -243,8 +247,12 @@ def _first_violation(points: np.ndarray, demand_fn) -> int | None:
 
 # -- kernel selection and diagnostics ---------------------------------------
 
-_KERNELS = ("qpa", "forward")
-_KERNEL = "qpa"
+_KERNELS = ("qpa", "vec", "forward")
+# Consumed once at import, like the scan-chunk/approx-k knobs; the CLI's
+# ``--demand-kernel`` both exports the env var (for spawned workers) and
+# calls :func:`set_demand_kernel` (for this process), so the effective
+# resolution order is instance > CLI > env > default.
+_KERNEL = demand_kernel_from_env()
 
 # The kernel diagnostics live on the obs registry as the "dbf" counter
 # scope: the registry hands back a plain mutable dict, so the hot loops
@@ -265,7 +273,7 @@ _COUNTERS = _OBS_REGISTRY.counter_scope(
 
 
 def demand_kernel() -> str:
-    """The active violation-search kernel (``"qpa"`` or ``"forward"``)."""
+    """The active violation-search kernel (``"qpa"``, ``"vec"`` or ``"forward"``)."""
     return _KERNEL
 
 
@@ -273,10 +281,18 @@ def set_demand_kernel(name: str) -> str:
     """Select the violation-search kernel; returns the previous one.
 
     ``"qpa"`` (the default) runs the screens + backward fixed-point search;
+    ``"vec"`` keeps the identical QPA decision procedure at this level and
+    additionally enables the vectorized machinery of
+    :mod:`repro.analysis.dbf_vec` inside the shrink-descent engine
+    (closed-form V* windows, split upper-bound screens, vectorized
+    candidate ranking and speculative shrink batches);
     ``"forward"`` restores the pure chunked breakpoint enumeration — the
     differential oracle and the baseline the kernel benchmark measures
-    against.  Both kernels decide the violation predicate exactly, so every
-    verdict, violation point and figure output is identical under either.
+    against.  All kernels decide the violation predicate exactly, so every
+    verdict, violation point and figure output is identical under any of
+    them.  The startup default comes from ``REPRO_DBF_KERNEL``
+    (:func:`repro.util.env.demand_kernel_from_env`); this call overrides
+    it for the current process.
     """
     global _KERNEL
     if name not in _KERNELS:
@@ -519,7 +535,7 @@ def _lo_violation_scan(tasks: list["_ModeTask"], horizon: int) -> int | None:
     upper-bound screen, and hands a found witness back to the forward scan
     for the earliest-point localization the callers' contract requires.
     """
-    if _KERNEL == "qpa":
+    if _KERNEL != "forward":
         if approx_accepts(tasks, horizon, hi=False):
             _COUNTERS["approx-accept"] += 1
             return None
@@ -752,7 +768,7 @@ class DemandScenario:
         if horizon > self.horizon_cap:
             raise HorizonExceeded(f"bound {horizon} exceeds cap {self.horizon_cap}")
         n_trigger = len(self._hi)
-        if _KERNEL == "qpa":
+        if _KERNEL != "forward":
             if approx_accepts(tasks, horizon, hi=True):
                 _COUNTERS["approx-accept"] += 1
                 return None

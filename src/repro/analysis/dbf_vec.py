@@ -1,0 +1,536 @@
+"""Vectorized demand machinery of the ``"vec"`` kernel.
+
+:func:`repro.analysis.dbf.set_demand_kernel` ``("vec")`` keeps the QPA
+decision procedure of :mod:`repro.analysis.dbf` (screens + backward
+fixed-point search + forward localization) and additionally enables the
+machinery here inside the shrink-descent engine of
+:mod:`repro.analysis.vdtuning`.  Everything in this module is either a
+pure-value replacement (the identical integer/float is produced by
+different array code) or an accept-only cost layer, so results stay
+bit-identical to the ``"qpa"`` and ``"forward"`` kernels — the property
+the differential suite in ``tests/analysis/test_dbf_vec.py`` asserts.
+
+Four layers:
+
+Closed-form V* (:func:`vstar_own`)
+    The own-breakpoint half of the minimal LO-feasible virtual deadline,
+    evaluated over the *whole* other-breakpoint window at once instead of
+    a ``feasible(v)`` bisection.  For the probed task (``C = wcet_lo``,
+    period ``T``) the own-half fails at an own point ``l = v + jT`` in
+    others' slack region ``i`` iff ``(j+1) C > slack_o[i] + (l - p_i)``;
+    for each region only the *minimal* reaching job count
+    ``j* = max(slack_o[i] // C, ceil((p_i - D) / T), 0)`` matters (every
+    term of the failing-``l`` bound is non-increasing in ``j``), so the
+    largest failing deadline is a max over one fused candidate array.
+    Above the closed-form floor the other-breakpoint half already holds,
+    making own-half feasibility ≡ full feasibility ≡ monotone in ``v`` —
+    hence the boundary this computes is exactly the bisection's.
+
+Split upper-bound screen (:func:`lo_screen_prepare` / :func:`lo_screen_accepts`)
+    ``approx_accepts(others + [probe], horizon, hi=False)`` re-evaluates
+    the *others'* k-step bound from scratch on every probe even though
+    only the probed deadline moved.  The split caches the others' bound
+    at the others' candidate points once per ``(task, assignment)`` and
+    each probe adds one single-task term — integer addition is
+    associative, so the totals (and hence the verdict) are the ones the
+    one-shot screen computes over the same candidate multiset.  The
+    descent engages it lazily (first shot on an entry stays one-shot;
+    the cache is built on the second) and, because the marginal shot is
+    O(k), keeps screening where the qpa cost valve stops after two shots
+    and pays the exact probe — accept-only screens make both pure cost
+    policies with verdict-identical results.
+
+Vectorized candidate ranking (:meth:`DescentSession.rank`)
+    The per-assignment shrink-candidate ranking (single-task HI staircase
+    now/floor/new demand, the closed-form staircase inversion, both score
+    policies) on task columns instead of a scalar loop.  All integer
+    arithmetic plus *elementwise* float64 division — IEEE-identical to
+    the scalar expressions, no reductions — feeding the identical
+    ``(score, slack, -task_id)`` sort keys.  Array dispatch only pays for
+    itself on wide candidate sets (numpy's per-call overhead dwarfs a
+    loop over a handful of tasks), so the descent engages this path above
+    :data:`RANK_VEC_MIN` candidates and keeps the scalar loop below it —
+    a pure cost crossover, both sides produce the same entries.
+
+Speculative shrink batches (:meth:`DescentSession.speculate` / ``consume``)
+    Each descent iteration ranks candidates once per assignment; the
+    sequential trajectory then walks the ranking one freeze at a time.
+    ``speculate`` pre-evaluates the next ``k`` ranked candidates' shrink
+    targets against the engine's accept screens (memoized monotone hit,
+    density condition) in one batch; ``consume`` hands the pre-computed
+    answer — *including the side effects the sequential screen would have
+    applied at that moment* — to whichever candidate the trajectory
+    actually reaches, and :meth:`DescentSession.retire` discards the rest
+    on commit.  Sound because every speculated value is a pure function
+    of the probe (``vd`` is frozen between commits, so batch entries
+    cannot go stale); iteration accounting and descent outcomes are
+    untouched.  The batch is also *cost-bounded*: it settles only from
+    scaffolding the memo already holds (the repeated-pick pattern of the
+    micro-walk) and never computes a fresh others-entry for a candidate
+    the trajectory may skip — per batch it spends dict lookups and a few
+    integer comparisons, so even a zero hit rate costs noise while every
+    hit removes a full sequential gate chain.  ``REPRO_DBF_SPEC_K`` sets
+    the depth — a pure cost knob.
+
+Speculation diagnostics live on the obs registry as the ``kernel.vec``
+counter scope (``spec-hit``/``spec-waste``/``spec-batches``/``spec-width``),
+aggregated by :func:`repro.experiments.acceptance.kernel_summary` and
+rendered in the CLI ``--pipeline`` diagnostics block.  Like the ``dbf``
+scope they are compare-excluded cost diagnostics; cache keys never see
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import dbf as _dbf
+from repro.obs import REGISTRY as _OBS_REGISTRY
+from repro.util.env import spec_depth_from_env
+
+__all__ = [
+    "DescentSession",
+    "lo_screen_accepts",
+    "lo_screen_prepare",
+    "reset_vec_counters",
+    "set_speculation_depth",
+    "speculation_depth",
+    "vec_counters",
+    "vstar_own",
+]
+
+#: Ranked candidates whose screens each descent assignment pre-evaluates
+#: (the ``REPRO_DBF_SPEC_K`` knob).  Pure cost/coverage trade.
+_SPEC_DEPTH = spec_depth_from_env()
+
+#: Candidate-set width at which array ranking overtakes the scalar loop.
+#: Below it numpy's fixed per-call overhead (~20 tiny array ops) loses to
+#: a plain loop over a handful of tasks; measured crossover on the bench
+#: host sits near two dozen HC tasks per core.  Cost-only: both paths
+#: emit identical entries.
+RANK_VEC_MIN = 24
+
+# Always-on like the "dbf" scope: the registry hands back a mutable dict,
+# so the descent keeps plain ``+= 1`` cost while snapshots, worker->parent
+# merging and the exporters see ``kernel.vec.<key>``.
+_COUNTERS = _OBS_REGISTRY.counter_scope(
+    "kernel.vec",
+    (
+        "spec-hit",  # speculated screen settles the trajectory consumed
+        "spec-waste",  # speculated settles discarded on commit/retire
+        "spec-batches",  # speculation batches built
+        "spec-width",  # candidates examined across all batches
+    ),
+)
+
+
+def speculation_depth() -> int:
+    """The active speculation depth ``k`` of the vec descent."""
+    return _SPEC_DEPTH
+
+
+def set_speculation_depth(k: int) -> int:
+    """Set the speculation depth; returns the previous one.
+
+    A pure cost knob: any positive depth yields identical descent
+    trajectories and outcomes (the property the trace-equality test
+    asserts), it only moves work between speculated batches and
+    sequential screen calls.
+    """
+    global _SPEC_DEPTH
+    if not isinstance(k, int) or k <= 0:
+        raise ValueError(f"speculation depth must be a positive int, got {k!r}")
+    previous = _SPEC_DEPTH
+    _SPEC_DEPTH = k
+    return previous
+
+
+def vec_counters() -> dict[str, int]:
+    """Snapshot of the process-local speculation diagnostics counters."""
+    return dict(_COUNTERS)
+
+
+def reset_vec_counters() -> None:
+    """Zero the speculation diagnostics counters (process-local)."""
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+# -- closed-form V* ----------------------------------------------------------
+
+
+def vstar_own(
+    points_o: np.ndarray,
+    slack_o: np.ndarray,
+    wcet_lo: int,
+    period: int,
+    deadline: int,
+    floor_v: int,
+    horizon: int,
+) -> int | None:
+    """Minimal own-half-feasible virtual deadline in ``[floor_v, deadline]``.
+
+    Value-identical to the sequential search over
+    :meth:`repro.analysis.dbf.LoShrinkProbe._own_feasible` (floor probe,
+    full-deadline probe, bisection): the own-half fails for deadline ``v``
+    iff some own point ``l = v + jT <= horizon`` has
+    ``(j+1) C > slack(l)``, where within others' region ``i`` (from
+    ``p_i = points_o[i]`` up to the next point) the slack is
+    ``slack_o[i] + (l - p_i)``.  For each region the smallest job count
+    that can fail at all is
+    ``j* = max(slack_o[i] // C, ceil((p_i - deadline) / T), 0)``
+    (below ``slack_o[i] // C`` the region start already has enough slack;
+    below the middle term no ``v <= deadline`` reaches the region), and
+    the largest failing ``l`` at that count is
+
+        ``min(p_{i+1} - 1, p_i + (j*+1) C - 1 - slack_o[i],
+        deadline + j* T, horizon)``
+
+    — every term non-increasing in ``j``, so ``j*`` dominates all larger
+    counts and ``v = l - j* T`` is the region's largest failing deadline.
+    Duplicate breakpoints make a region empty; the ``l >= p_i`` mask
+    voids it.  Requires ``C <= T`` (constrained-deadline model) and the
+    caller's guarantees from the V* ``compute()`` path: ``slack_o >= 0``
+    everywhere and ``floor_v`` at or above the closed-form
+    other-breakpoint floor, which makes own-half feasibility monotone on
+    the searched range.  Returns None when even ``deadline`` fails —
+    exactly when the bisection path would.
+    """
+    if len(points_o) == 0:
+        return floor_v
+    c, t, d = wcet_lo, period, deadline
+    jmin = slack_o // c
+    jlo = -((d - points_o) // t)  # ceil((p - d) / t) in floor division
+    jstar = np.maximum(np.maximum(jmin, jlo), 0)
+    p_next = np.empty_like(points_o)
+    p_next[:-1] = points_o[1:]
+    p_next[-1] = horizon + 1
+    l_cand = np.minimum(
+        np.minimum(p_next - 1, points_o + (jstar + 1) * c - 1 - slack_o),
+        np.minimum(d + jstar * t, horizon),
+    )
+    valid = l_cand >= points_o
+    if not valid.any():
+        return floor_v
+    maxfail = int((l_cand - jstar * t)[valid].max())
+    if maxfail >= d:
+        return None
+    return max(floor_v, maxfail + 1)
+
+
+# -- split upper-bound screen ------------------------------------------------
+
+
+def _screen_terms(columns: tuple, points: np.ndarray, k: int) -> np.ndarray:
+    """Per-task k-step LO bound terms at ``points`` (tasks × points).
+
+    The exact per-task expression of
+    :func:`repro.analysis.dbf.approx_accepts` with ``hi=False``: the
+    staircase below the blend point ``d + k T``, the integer-ceiling
+    chord above it, zero before the deadline.
+    """
+    deadline, period, wcet = columns
+    x = points[None, :] - deadline
+    active = x >= 0
+    xa = np.where(active, x, 0)
+    stair = (xa // period + 1) * wcet
+    chord = -((-wcet * (xa + period)) // period)
+    exact = points[None, :] < deadline + k * period
+    return np.where(active, np.where(exact, stair, chord), 0)
+
+
+def lo_screen_prepare(others, horizon: int, k: int) -> tuple:
+    """Others' half of the LO upper-bound screen at ``horizon``, cached.
+
+    Evaluates the other tasks' k-step bound at *their* candidate points
+    (their first ``k+1`` step points plus the horizon — the ramp-free
+    ``hi=False`` candidate family of ``_ub_screen_points``) once; the
+    returned tuple lets :func:`lo_screen_accepts` decide each probe by
+    adding a single task's terms.
+    """
+    families = [np.asarray([horizon], dtype=np.int64)]
+    for task in others:
+        if task.deadline > horizon:
+            continue
+        families.append(
+            np.arange(
+                task.deadline,
+                min(task.deadline + k * task.period, horizon) + 1,
+                task.period,
+                dtype=np.int64,
+            )
+        )
+    pts_o = np.concatenate(families)
+    if others:
+        columns = (
+            np.array([task.deadline for task in others], dtype=np.int64)[:, None],
+            np.array([task.period for task in others], dtype=np.int64)[:, None],
+            np.array([task.wcet for task in others], dtype=np.int64)[:, None],
+        )
+        ub_o = _screen_terms(columns, pts_o, k).sum(axis=0)
+    else:
+        columns = None
+        ub_o = np.zeros(len(pts_o), dtype=np.int64)
+    others_ok = bool((ub_o <= pts_o).all())
+    return (pts_o, ub_o, columns, others_ok)
+
+
+def lo_screen_accepts(
+    prepared: tuple, wcet_lo: int, period: int, v: int, horizon: int, k: int
+) -> bool:
+    """Verdict-identical to ``approx_accepts(others + [probe@v], horizon,
+    hi=False, k=k)`` against the cached others' half.
+
+    The one-shot screen compares the summed bound against the union of
+    the others' and the probe's candidate points; integer addition is
+    associative, so splitting the sum into "cached others + one probe
+    term" reproduces the exact totals at the exact points.  A probe
+    deadline past the horizon contributes no points and no terms — the
+    one-shot screen's ``deadline > horizon`` filter — leaving only the
+    cached others' verdict.
+    """
+    pts_o, ub_o, columns, others_ok = prepared
+    if v > horizon:
+        return others_ok
+    x = pts_o - v
+    active = x >= 0
+    xa = np.where(active, x, 0)
+    stair = (xa // period + 1) * wcet_lo
+    chord = -((-wcet_lo * (xa + period)) // period)
+    exact = pts_o < v + k * period
+    probe_terms = np.where(active, np.where(exact, stair, chord), 0)
+    if np.any(ub_o + probe_terms > pts_o):
+        return False
+    # The probe's own candidate points: x there is a multiple of the
+    # period, where the chord equals the staircase — no blend branch.
+    pts_p = np.arange(
+        v, min(v + k * period, horizon) + 1, period, dtype=np.int64
+    )
+    total = ((pts_p - v) // period + 1) * wcet_lo
+    if columns is not None:
+        total = total + _screen_terms(columns, pts_p, k).sum(axis=0)
+    return not np.any(total > pts_p)
+
+
+# -- vectorized ranking + speculative descent --------------------------------
+
+
+class DescentSession:
+    """Per-descent state of the vec kernel: task columns for vectorized
+    candidate ranking plus the speculative shrink batch.
+
+    One session serves one :func:`~repro.analysis.vdtuning._descend` run;
+    it reads the engine's private memo scaffolding (same package, shared
+    invariants).  Every method is value-identical to its scalar
+    counterpart — the session moves cost, never results.
+    """
+
+    def __init__(self, engine, high_tasks):
+        self._engine = engine
+        self._tasks = list(high_tasks)
+        self._period = np.array([t.period for t in self._tasks], dtype=np.int64)
+        self._wcet_lo = np.array([t.wcet_lo for t in self._tasks], dtype=np.int64)
+        self._wcet_hi = np.array([t.wcet_hi for t in self._tasks], dtype=np.int64)
+        self._deadline = np.array([t.deadline for t in self._tasks], dtype=np.int64)
+        #: position of each task inside the engine's candidate order, for
+        #: building ``_sig_others`` tuples by deletion instead of n scans.
+        self._pos = {t.task_id: i for i, t in enumerate(engine.taskset)}
+        self._spec: dict | None = None
+        #: task_id of the last committed shrink — the one candidate whose
+        #: others-signature survives a commit (see ``speculate``).
+        self._last: int | None = None
+        #: whether the candidate set is wide enough for array ranking to
+        #: beat the scalar loop (see :data:`RANK_VEC_MIN`).
+        self.vector_rank = len(self._tasks) >= RANK_VEC_MIN
+
+    # -- ranking -------------------------------------------------------------
+    def rank(self, vd, violation: int, deficit: int, policy: str) -> list:
+        """Entry-identical to ``_rank_candidates`` (same keys, same order).
+
+        The scalar loop's closed forms — single-task HI staircase demand
+        now / at the shrink floor / after the shrink, the staircase
+        inversion of the minimal deficit-clearing shrink, both score
+        policies — as column arithmetic.  Integer ops are exact; the two
+        float divisions of the ratio policy are elementwise, hence
+        IEEE-identical to the scalar expressions; the assembled tuples
+        and the descending sort are byte-for-byte the scalar path's.
+        """
+        tasks = self._tasks
+        if not tasks:
+            return []
+        period, wcet_lo, wcet_hi = self._period, self._wcet_lo, self._wcet_hi
+        vd_now = np.fromiter(
+            (vd[t.task_id] for t in tasks), dtype=np.int64, count=len(tasks)
+        )
+        max_shrink = vd_now - wcet_lo
+        x = violation - (self._deadline - vd_now)
+        r0 = x % period
+        first = np.where(r0 < wcet_lo, 1, r0 - wcet_lo + 1)
+        keep = (max_shrink > 0) & (x >= 0) & (first <= max_shrink)
+        d_now = (x // period + 1) * wcet_hi - np.maximum(0, wcet_lo - r0)
+        x_floor = x - max_shrink
+        d_floor = np.where(
+            x_floor >= 0,
+            (x_floor // period + 1) * wcet_hi
+            - np.maximum(0, wcet_lo - x_floor % period),
+            0,
+        )
+        target = np.minimum(deficit, d_now - d_floor)
+        # _invert_shrink, all branches at once: largest y >= 0 with
+        # H(y) <= d_now - target (-1 when none), minimal shrink x - y*.
+        level = d_now - target
+        jobs = (level + wcet_lo) // wcet_hi - 1
+        need = (jobs + 1) * wcet_hi - level
+        y_star = np.where(
+            jobs < 0,
+            -1,
+            np.where(
+                need <= 0,
+                jobs * period + period - 1,
+                jobs * period + wcet_lo - need,
+            ),
+        )
+        desired = np.where(target <= 0, max_shrink, np.maximum(1, x - y_star))
+        desired = np.maximum(desired, first)
+        x_new = x - desired
+        d_new = np.where(
+            x_new >= 0,
+            (x_new // period + 1) * wcet_hi
+            - np.maximum(0, wcet_lo - x_new % period),
+            0,
+        )
+        gain = d_now - d_new
+        keep &= gain > 0
+        idx = np.nonzero(keep)[0]
+        if not len(idx):
+            return []
+        if policy == "steepest":
+            score = gain[idx].astype(np.float64)
+        else:  # ratio: HI gain per unit of LO density increase
+            vd_k = vd_now[idx]
+            lo_k = wcet_lo[idx]
+            cost = np.maximum(lo_k / (vd_k - desired[idx]) - lo_k / vd_k, 1e-12)
+            score = gain[idx] / cost
+        ranked = []
+        for row, i in enumerate(idx.tolist()):
+            task = tasks[i]
+            ranked.append(
+                (
+                    (float(score[row]), int(max_shrink[i]), -task.task_id),
+                    task,
+                    int(desired[i]),
+                )
+            )
+        ranked.sort(key=lambda entry: entry[0], reverse=True)
+        return ranked
+
+    # -- speculation ---------------------------------------------------------
+    def speculate(self, ranked: list, vd) -> None:
+        """Pre-evaluate the next ``k`` ranked candidates' shrink screens.
+
+        For each of the top ``k`` entries this replays the gate sequence
+        of ``max_lo_feasible_shrink``'s warm path against the frozen
+        ``vd``: target above the task's floor, no banked V*, scaffolding
+        cached, horizon available, then the memoized monotone hit or the
+        O(1) density accept.  A candidate that settles is stored with the
+        *kind* of settle, so ``consume`` can replay the sequential side
+        effects (diagnostics counter, smallest-accepted-deadline memo) at
+        the moment the trajectory actually reaches it; a candidate that
+        does not settle still banks its ``sig_others`` tuple (one shared
+        pass over the candidate order instead of one scan per pick).  Two
+        costs are deliberately *not* speculated: a fresh others-entry (an
+        O(n) fold a skipped candidate would turn into pure waste — only
+        memo-cached scaffolding settles here) and the O(n·k) upper-bound
+        screen (its cost-valve counter is observable in the screen-call
+        accounting, and the split screen makes the sequential call cheap
+        anyway).
+        """
+        engine = self._engine
+        memo = engine._memo
+        self._spec = spec = {}
+        if memo is None or not ranked:
+            return
+        depth = min(_SPEC_DEPTH, len(ranked))
+        _COUNTERS["spec-batches"] += 1
+        _COUNTERS["spec-width"] += depth
+        # A commit rewrites every *other* candidate's others-signature, so
+        # under the frozen vd only the last-committed task's scaffolding
+        # (or a warm shared memo's) can be cached.  One integer compare
+        # gates the rest of the batch out before any tuple or dict work —
+        # this is what bounds a missed speculation at noise cost.
+        last = self._last
+        pairs = None
+        for _key, task, desired in ranked[:depth]:
+            if task.task_id != last:
+                continue
+            if pairs is None:
+                pairs = [
+                    (t.task_id, vd.get(t.task_id, t.deadline))
+                    for t in engine.taskset
+                ]
+            pos = self._pos[task.task_id]
+            sig_o = tuple(pairs[:pos] + pairs[pos + 1 :])
+            target = vd[task.task_id] - desired
+            # [kind, desired, sig_o, prepared, target]
+            entry = [None, desired, sig_o, None, target]
+            spec[task.task_id] = entry
+            if target < task.wcet_lo:
+                continue
+            if memo.get(("vmin", task.task_id, sig_o)) is not None:
+                continue
+            prepared = memo.get(("lofp", task.task_id, sig_o))
+            if prepared is None:
+                continue  # never fold a fresh others-entry speculatively
+            horizon, density, accepted_v = prepared[1], prepared[2], prepared[3]
+            if horizon is None:
+                continue
+            entry[3] = prepared
+            if accepted_v is not None and target >= accepted_v:
+                entry[0] = "hit"
+            elif horizon == 0:
+                entry[0] = "screen"
+            elif density + task.wcet_lo / min(target, task.period) <= 1.0 - 1e-9:
+                entry[0] = "screen"
+
+    def consume(self, task, desired: int):
+        """``(shrink, sig_o)`` for the candidate the trajectory picked.
+
+        ``shrink`` is the speculated settle (always ``desired`` — the
+        screens are accept-only) or None when the candidate must take the
+        sequential path; ``sig_o`` is the banked signature tuple for that
+        path, or None when nothing was speculated.  Consuming a settle
+        applies exactly the side effects the sequential screen accept
+        would have applied now: the ``approx-accept`` diagnostics tick
+        and the monotone smallest-accepted-deadline update for a fresh
+        screen settle, nothing for a memoized monotone hit.
+        """
+        spec = self._spec
+        entry = spec.pop(task.task_id, None) if spec else None
+        if entry is None or entry[1] != desired:
+            return (None, None)
+        kind, _, sig_o, prepared, target = entry
+        if kind is None:
+            return (None, sig_o)
+        _COUNTERS["spec-hit"] += 1
+        if kind == "screen":
+            _dbf._COUNTERS["approx-accept"] += 1
+            accepted_v = prepared[3]
+            prepared[3] = target if accepted_v is None else min(accepted_v, target)
+        return (desired, sig_o)
+
+    def retire(self, committed: int | None = None) -> None:
+        """Discard the batch (on commit or descent exit), counting the
+        speculated settles the trajectory never reached as waste.
+
+        ``committed`` is the task_id of a just-committed shrink — the
+        anchor the next batch speculates around (its others-signature is
+        the only one the commit leaves intact)."""
+        if committed is not None:
+            self._last = committed
+        spec = self._spec
+        self._spec = None
+        if not spec:
+            return
+        wasted = sum(1 for entry in spec.values() if entry[0] is not None)
+        if wasted:
+            _COUNTERS["spec-waste"] += wasted

@@ -56,6 +56,7 @@ import numpy as np
 from repro.model import MCTask, TaskSet
 from repro import obs as _obs
 from repro.analysis import dbf as _dbf
+from repro.analysis import dbf_vec as _vec
 from repro.analysis.dbf import (
     DemandScenario,
     HorizonExceeded,
@@ -657,7 +658,7 @@ class DemandEngine:
                 return (None, None)
             tasks = self._hi_tasks(vd)
             meta = self._hi_meta(sig, tasks)
-            if _dbf._KERNEL != "qpa":
+            if _dbf._KERNEL == "forward":
                 return _windowed_hi_check(
                     tasks, meta, refine, not_before, len(self._high)
                 )
@@ -859,7 +860,7 @@ class DemandEngine:
                 return True
             if not refine and not obool:
                 return False
-        if _dbf._KERNEL != "qpa":
+        if _dbf._KERNEL == "forward":
             return self.hi_violation(vd, refine) is None
         if not self._high:
             memo[("hib", sig, refine)] = True
@@ -955,10 +956,11 @@ class DemandEngine:
 
         ``[others mode-task tuple, worst-case horizon (None = the probe
         would raise or mark always-infeasible), others' density, smallest
-        screen-accepted deadline, screen-call count]`` — shared by the
-        accept screens and the fast probe construction so the descent's
-        repeated picks of one task build it once per surrounding
-        assignment.
+        screen-accepted deadline, screen-call count, cached vec split
+        screen (None until the vec kernel's first full screen)]`` —
+        shared by the accept screens and the fast probe construction so
+        the descent's repeated picks of one task build it once per
+        surrounding assignment.
         """
         key = ("lofp", task.task_id, sig_o)
         prepared = self._memo.get(key)
@@ -978,7 +980,7 @@ class DemandEngine:
                 horizon = DemandScenario._horizon(worst, self.horizon_cap)
             except HorizonExceeded:
                 horizon = None  # decline exactly where the probe would raise
-            prepared = [tuple(others), horizon, density, None, 0]
+            prepared = [tuple(others), horizon, density, None, 0, None]
             self._memo[key] = prepared
         return prepared
 
@@ -1056,26 +1058,59 @@ class DemandEngine:
         elif density + task.wcet_lo / min(v, task.period) <= 1.0 - 1e-9:
             ok = True
         else:
-            # The descent re-picks the same task with ever-smaller
-            # deadlines; after a couple of full screen evaluations it is
-            # cheaper to let the exact V* search run once and serve every
-            # later request from its memo entry (a pure cost policy — the
-            # V* path returns the identical shrink).
             prepared[4] += 1
-            if prepared[4] > 2:
-                return False
-            candidate = list(others)
-            candidate.append(
-                _ModeTask(task.wcet_lo, v, task.period, task.wcet_lo)
-            )
-            ok = approx_accepts(candidate, horizon, hi=False)
+            if _dbf._KERNEL == "vec":
+                # Split screen, engaged lazily: the first shot on an entry
+                # uses the one-shot screen (cheaper than building the split
+                # cache for an entry that may never be screened again); from
+                # the second shot on the others' half is cached once and
+                # each call adds only the probe's own terms.  The O(k)
+                # marginal cost is low enough that the vec kernel keeps
+                # screening where qpa's valve below gives up and pays the
+                # exact probe — screens are accept-only, so this is a pure
+                # cost policy with verdict-identical results.
+                if prepared[4] == 1:
+                    candidate = list(others)
+                    candidate.append(
+                        _ModeTask(task.wcet_lo, v, task.period, task.wcet_lo)
+                    )
+                    ok = approx_accepts(candidate, horizon, hi=False)
+                else:
+                    screen = prepared[5]
+                    if screen is None:
+                        screen = _vec.lo_screen_prepare(
+                            others, horizon, _dbf._APPROX_K
+                        )
+                        prepared[5] = screen
+                    ok = _vec.lo_screen_accepts(
+                        screen, task.wcet_lo, task.period, v, horizon,
+                        _dbf._APPROX_K,
+                    )
+            else:
+                # The descent re-picks the same task with ever-smaller
+                # deadlines; after a couple of full O(n·k) screen
+                # evaluations it is cheaper to let the exact V* search run
+                # once and serve every later request from its memo entry (a
+                # pure cost policy — the V* path returns the identical
+                # shrink).
+                if prepared[4] > 2:
+                    return False
+                candidate = list(others)
+                candidate.append(
+                    _ModeTask(task.wcet_lo, v, task.period, task.wcet_lo)
+                )
+                ok = approx_accepts(candidate, horizon, hi=False)
         if ok:
             _dbf._COUNTERS["approx-accept"] += 1
             prepared[3] = v if accepted_v is None else min(accepted_v, v)
         return ok
 
     def max_lo_feasible_shrink(
-        self, vd: dict[int, int], task: MCTask, desired: int
+        self,
+        vd: dict[int, int],
+        task: MCTask,
+        desired: int,
+        _sig_o: tuple | None = None,
     ) -> int:
         """Largest shrink ``<= desired`` keeping the LO-mode check feasible.
 
@@ -1089,6 +1124,12 @@ class DemandEngine:
         ``V*``, which is independent of the task's own current deadline —
         so every later descent iteration that re-picks this task (with any
         remaining ``base``, against any deficit) costs one lookup.
+
+        ``_sig_o`` optionally supplies the precomputed
+        :meth:`_sig_others` tuple for ``(vd, task)`` — a pure-value reuse
+        hook for the vec kernel's speculation batches (which build all
+        candidate signatures in one pass); passing it never changes the
+        result.
         """
         base = vd[task.task_id]
 
@@ -1117,8 +1158,10 @@ class DemandEngine:
         # construction and the V* search.  Screen verdicts are monotone in
         # the probed deadline, so the smallest accepted deadline is cached
         # per surrounding assignment and repeated picks cost one lookup.
-        sig_o = self._sig_others(vd, task.task_id)
-        if _dbf._KERNEL == "qpa":
+        sig_o = (
+            _sig_o if _sig_o is not None else self._sig_others(vd, task.task_id)
+        )
+        if _dbf._KERNEL != "forward":
             target = base - desired
             if (
                 target >= task.wcet_lo
@@ -1158,6 +1201,20 @@ class DemandEngine:
             # At or above floor_v the other-breakpoint half holds by the
             # closed-form inversion, so only the own-breakpoint half of
             # feasible() remains to test.
+            if _dbf._KERNEL == "vec" and task.wcet_lo <= task.period:
+                # Same boundary, no bisection: above floor_v the own half
+                # is the whole (monotone) verdict, and its largest failing
+                # deadline inverts in closed form over the others' slack
+                # regions (see dbf_vec.vstar_own).
+                return _vec.vstar_own(
+                    points_o,
+                    slack_o,
+                    task.wcet_lo,
+                    task.period,
+                    task.deadline,
+                    floor_v,
+                    probe._horizon,
+                )
             if probe._own_feasible(floor_v):
                 return floor_v
             if not probe._own_feasible(task.deadline):
@@ -1316,15 +1373,16 @@ def run_tuning_stages(
 def _default_engine(taskset: TaskSet, horizon_cap: int) -> DemandEngine:
     """The engine a caller gets when it passes none.
 
-    Under the QPA kernel the engine carries a private per-run memo so the
-    whole kernel machinery (warm anchors, witness-level checks, screen
-    caches) serves the from-scratch path too — memoization only
+    Under the QPA and vec kernels the engine carries a private per-run
+    memo so the whole kernel machinery (warm anchors, witness-level
+    checks, screen caches, speculation batches) serves the from-scratch
+    path too — memoization only
     deduplicates pure queries, so outcomes are identical either way (the
     property the memo/no-memo differential tests assert).  Under the
     forward oracle kernel the engine stays memo-free, preserving the
     historical from-scratch cost profile the benchmarks baseline against.
     """
-    if _dbf._KERNEL == "qpa":
+    if _dbf._KERNEL != "forward":
         return DemandEngine(taskset, horizon_cap, memo={})
     return DemandEngine(taskset, horizon_cap)
 
@@ -1462,8 +1520,24 @@ def _descend(
     non-frozen entry equals the historical per-iteration argmax: the score
     key embeds ``-task_id``, a total order) and every outcome are
     unchanged; only the redundant re-evaluations are gone.
+
+    Under the vec kernel a :class:`~repro.analysis.dbf_vec.DescentSession`
+    takes over the per-assignment work: the candidate ranking runs as
+    column arithmetic (entry-identical) and the next ``k`` ranked
+    candidates' shrink screens are speculated in one batch — the
+    trajectory consumes the speculated settle for whichever candidate it
+    actually reaches and the rest is discarded on commit.  Every
+    speculated value is a pure function of the probe and ``vd`` is frozen
+    between commits, so trajectories, iteration counts and outcomes are
+    identical with speculation on or off (the descent-trace equality
+    test).
     """
     vd = dict(vd)
+    session = (
+        _vec.DescentSession(engine, high_tasks)
+        if _dbf._KERNEL == "vec" and engine._memo is not None
+        else None
+    )
     frozen: set[int] = set()
     # Shrinking any Dv only lowers HI demand, so check points below the
     # last seen violation stay feasible for the rest of the descent — the
@@ -1476,30 +1550,47 @@ def _descend(
             try:
                 current = engine.hi_check(vd, refine, not_before=front)
             except HorizonExceeded:
+                if session is not None:
+                    session.retire()
                 return TuningOutcome(
                     False, vd, iteration, "HI horizon cap exceeded"
                 )
         violation, demand = current
         if violation is None:
+            if session is not None:
+                session.retire()
             return TuningOutcome(True, vd, iteration)
         front = violation
 
         deficit = demand - violation
         if ranked is None:
-            ranked = _rank_candidates(
-                high_tasks, vd, violation, deficit, policy, engine
-            )
+            if session is not None and session.vector_rank:
+                ranked = session.rank(vd, violation, deficit, policy)
+            else:
+                ranked = _rank_candidates(
+                    high_tasks, vd, violation, deficit, policy, engine
+                )
+            if session is not None:
+                session.speculate(ranked, vd)
         candidate = None
         for _key, task, desired in ranked:
             if task.task_id not in frozen:
                 candidate = (task, desired)
                 break
         if candidate is None:
+            if session is not None:
+                session.retire()
             return TuningOutcome(
                 False, vd, iteration, f"no shrinkable task at l*={violation}"
             )
         task, desired = candidate
-        shrink = engine.max_lo_feasible_shrink(vd, task, desired)
+        shrink = sig_o = None
+        if session is not None:
+            shrink, sig_o = session.consume(task, desired)
+        if shrink is None:
+            shrink = engine.max_lo_feasible_shrink(
+                vd, task, desired, _sig_o=sig_o
+            )
         if shrink == 0 or engine.hi_gain(task, vd[task.task_id], shrink, violation) <= 0:
             frozen.add(task.task_id)
             continue
@@ -1507,7 +1598,11 @@ def _descend(
         frozen.clear()  # shrinking one task may unfreeze others elsewhere
         current = None
         ranked = None
+        if session is not None:
+            session.retire(committed=task.task_id)
 
+    if session is not None:
+        session.retire()
     return TuningOutcome(False, vd, _MAX_ITERATIONS, "iteration cap reached")
 
 

@@ -242,7 +242,10 @@ def kernel_summary(
     ``--pipeline`` diagnostics and the dbf-kernel benchmark print: the
     ``qpa-accept`` / ``approx-accept`` / ``approx-reject`` settle counters,
     with the run/iteration totals collapsed to ``qpa-iter-mean`` (mean
-    backward fixed-point iterations per QPA search).
+    backward fixed-point iterations per QPA search).  The vec kernel's
+    speculation scope (``kernel.vec.*``) folds the same way: raw
+    ``spec-hit`` / ``spec-waste`` settles plus the batch/width totals
+    collapsed to ``spec-width-mean`` (mean candidates per batch).
 
     The registry accumulates for the process lifetime; pass ``since`` (an
     earlier ``REGISTRY.counters("kernel.")`` snapshot) to report only what
@@ -265,6 +268,10 @@ def kernel_summary(
         iterations = counts.pop("qpa-iterations", 0)
         if runs:
             counts["qpa-iter-mean"] = round(iterations / runs, 2)
+        batches = counts.pop("spec-batches", 0)
+        width = counts.pop("spec-width", 0)
+        if batches:
+            counts["spec-width-mean"] = round(width / batches, 2)
     return summary
 
 

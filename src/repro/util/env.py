@@ -5,8 +5,18 @@ Two knobs control experiment scale everywhere (figures, benchmarks, CI):
 * ``REPRO_SAMPLES`` — task sets per ``UB`` bucket (the paper used 1000).
 * ``REPRO_M`` — comma-separated processor counts (the paper swept 2,4,8).
 
-Two more tune the demand kernel of :mod:`repro.analysis.dbf`:
+Four more tune the demand kernel of :mod:`repro.analysis.dbf`:
 
+* ``REPRO_DBF_KERNEL`` — ``forward``, ``qpa`` (default) or ``vec``: the
+  demand-kernel stack used for violation searches and shrink descents.
+  All three kernels are bit-identical in results; they differ only in
+  machinery (see :func:`repro.analysis.dbf.set_demand_kernel`).  The
+  resolution order is instance (``set_demand_kernel``) > CLI
+  (``--demand-kernel``) > this knob > default.
+* ``REPRO_DBF_SPEC_K`` — speculation depth ``k`` of the ``vec`` kernel's
+  speculative shrink descent (default 4): how many ranked candidates per
+  descent assignment get their screens pre-evaluated in one batch.
+  Pure cost/coverage trade — results never depend on it.
 * ``REPRO_DBF_SCAN_CHUNK`` — breakpoint chunk size of the forward
   violation scan (default 4096).
 * ``REPRO_DBF_APPROX_K`` — exact-step depth ``k`` of the Fisher–Baruah
@@ -60,6 +70,8 @@ __all__ = [
     "m_values_from_env",
     "scan_chunk_from_env",
     "approx_k_from_env",
+    "demand_kernel_from_env",
+    "spec_depth_from_env",
     "obs_mode_from_env",
     "journal_path_from_env",
     "journal_flush_interval_from_env",
@@ -72,6 +84,9 @@ __all__ = [
 
 #: Valid ``REPRO_OBS`` values, in increasing collection order.
 OBS_MODES = ("off", "metrics", "trace")
+
+#: Valid demand kernels, in increasing machinery order.
+DBF_KERNELS = ("forward", "qpa", "vec")
 
 #: Valid executor backends, in increasing machinery order ("" = auto).
 RUNNER_BACKENDS = ("serial", "pool", "cluster")
@@ -129,6 +144,29 @@ def scan_chunk_from_env(fallback: int = 4096) -> int:
 def approx_k_from_env(fallback: int = 3) -> int:
     """Approximation-screen depth ``k``: ``REPRO_DBF_APPROX_K`` or ``fallback``."""
     return positive_int_env("REPRO_DBF_APPROX_K", fallback)
+
+
+def demand_kernel_from_env(fallback: str = "qpa") -> str:
+    """Demand kernel: ``REPRO_DBF_KERNEL`` or ``fallback``.
+
+    Accepts exactly ``forward``, ``qpa`` or ``vec``; anything else raises
+    :class:`ValueError` — all three produce bit-identical results, but a
+    typo must not silently run a benchmark on the wrong machinery.
+    """
+    raw = os.environ.get("REPRO_DBF_KERNEL", "")
+    if not raw:
+        return fallback
+    if raw not in DBF_KERNELS:
+        raise ValueError(
+            f"REPRO_DBF_KERNEL must be one of {'|'.join(DBF_KERNELS)}, "
+            f"got {raw!r}"
+        )
+    return raw
+
+
+def spec_depth_from_env(fallback: int = 4) -> int:
+    """Speculation depth ``k`` of the vec descent: ``REPRO_DBF_SPEC_K``."""
+    return positive_int_env("REPRO_DBF_SPEC_K", fallback)
 
 
 def obs_mode_from_env(fallback: str = "off") -> str:

@@ -1,0 +1,485 @@
+"""Differential suite for the vec demand kernel (PR 9).
+
+The vec kernel layers pure-value machinery on the QPA decision procedure:
+the closed-form own-half V*, the split LO upper-bound screen, vectorized
+candidate ranking and the speculative shrink batch.  Every layer must be
+value-identical to its scalar counterpart, and the kernel as a whole must
+produce bit-identical verdicts, violation witnesses and tuning outcomes
+to both the ``qpa`` and ``forward`` kernels — *including* iteration
+counts, so speculation provably never changes the descent trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import dbf, dbf_vec
+from repro.analysis.dbf import (
+    DemandScenario,
+    LoShrinkProbe,
+    _ModeTask,
+    approx_accepts,
+    demand_kernel,
+    set_demand_kernel,
+)
+from repro.analysis.dbf_vec import (
+    DescentSession,
+    lo_screen_accepts,
+    lo_screen_prepare,
+    set_speculation_depth,
+    speculation_depth,
+    vec_counters,
+    vstar_own,
+)
+from repro.analysis.vdtuning import (
+    DemandEngine,
+    _rank_candidates,
+    run_tuning_stages,
+)
+from repro.degradation.service import parse_service_model
+from repro.model import Criticality, MCTask, TaskSet
+
+KERNELS = ("forward", "qpa", "vec")
+
+CHAINS = (
+    (("steepest", False),),
+    (("ratio", True), ("steepest", True), ("steepest", False)),
+)
+
+
+@pytest.fixture
+def vec_kernel():
+    previous = set_demand_kernel("vec")
+    yield
+    set_demand_kernel(previous)
+
+
+def run_with_kernel(kernel, fn):
+    previous = set_demand_kernel(kernel)
+    try:
+        return fn()
+    finally:
+        set_demand_kernel(previous)
+
+
+# -- task-set generation -----------------------------------------------------
+
+@st.composite
+def mc_taskset(draw):
+    """A small random dual-criticality task set."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for _ in range(n):
+        period = draw(st.integers(min_value=4, max_value=60))
+        high = draw(st.booleans())
+        wcet_lo = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+        if high:
+            wcet_hi = draw(st.integers(min_value=wcet_lo, max_value=period))
+            floor = max(wcet_hi, wcet_lo)
+        else:
+            wcet_hi = wcet_lo
+            floor = wcet_lo
+        deadline = (
+            period
+            if draw(st.booleans())
+            else draw(st.integers(min_value=floor, max_value=period))
+        )
+        tasks.append(
+            MCTask(
+                period=period,
+                criticality=Criticality.HC if high else Criticality.LC,
+                wcet_lo=wcet_lo,
+                wcet_hi=wcet_hi,
+                deadline=deadline,
+            )
+        )
+    return TaskSet(tasks)
+
+
+@st.composite
+def scenario_inputs(draw):
+    """(taskset, virtual deadlines, service spec) for scenario checks."""
+    ts = draw(mc_taskset())
+    vd = {}
+    for task in ts:
+        if task.is_high:
+            vd[task.task_id] = draw(
+                st.integers(min_value=task.wcet_lo, max_value=task.deadline)
+            )
+    service = draw(
+        st.sampled_from(["full-drop", "imprecise:0.5", "elastic:1.5"])
+    )
+    return ts, vd, service
+
+
+def attach(ts, service):
+    if service == "full-drop":
+        return ts
+    return TaskSet(list(ts), service_model=parse_service_model(service))
+
+
+# -- three-kernel equivalence ------------------------------------------------
+
+class TestThreeKernelEquivalence:
+    @given(scenario_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_scenario_checks_identical(self, inputs):
+        """LO and HI verdicts and earliest-violation witnesses agree
+        across all three kernels, with refinement on and off."""
+        ts, vd, service = inputs
+        tagged = attach(ts, service)
+
+        def checks():
+            scenario = DemandScenario(tagged, vd)
+            try:
+                lo = ("lo", scenario.lo_violation())
+            except dbf.HorizonExceeded:
+                lo = ("lo", "raise")
+            out = [lo]
+            for refine in (False, True):
+                try:
+                    out.append((refine, scenario.hi_violation(refine=refine)))
+                except dbf.HorizonExceeded:
+                    out.append((refine, "raise"))
+            return out
+
+        results = [run_with_kernel(k, checks) for k in KERNELS]
+        assert results[0] == results[1] == results[2]
+
+    @given(mc_taskset(), st.sampled_from(["full-drop", "imprecise:0.5", "elastic:1.5"]))
+    @settings(max_examples=60, deadline=None)
+    def test_tuning_outcomes_identical(self, ts, service):
+        """run_tuning_stages returns the identical TuningOutcome —
+        schedulable, deadlines, detail AND iteration count — under all
+        three kernels, fresh and memo-backed engines, both stage chains.
+
+        The iteration equality is the descent-trace guarantee: the vec
+        kernel's speculation evaluates candidates ahead of the sequential
+        trajectory but never changes which candidate is picked or how the
+        accounting advances.
+        """
+        tagged = attach(ts, service)
+        for stages in CHAINS:
+            outcomes = []
+            for kernel in KERNELS:
+                for memo in (None, {}):
+                    def run():
+                        engine = DemandEngine(tagged, 100_000, memo=memo)
+                        return run_tuning_stages(
+                            tagged, stages, 100_000, engine=engine
+                        )
+                    outcomes.append(run_with_kernel(kernel, run))
+            first = outcomes[0]
+            for other in outcomes[1:]:
+                assert other.schedulable == first.schedulable
+                assert other.virtual_deadlines == first.virtual_deadlines
+                assert other.detail == first.detail
+                assert other.iterations == first.iterations
+
+    @given(mc_taskset())
+    @settings(max_examples=30, deadline=None)
+    def test_trajectory_invariant_in_speculation_depth(self, ts):
+        """Speculation depth is a pure cost knob: every k yields the
+        byte-identical tuning outcome (including iterations)."""
+        def run():
+            engine = DemandEngine(ts, 100_000, memo={})
+            return run_tuning_stages(
+                ts, (("steepest", False),), 100_000, engine=engine
+            )
+
+        outcomes = []
+        for k in (1, 2, 4, 8):
+            previous = set_speculation_depth(k)
+            try:
+                outcomes.append(run_with_kernel("vec", run))
+            finally:
+                set_speculation_depth(previous)
+        first = outcomes[0]
+        for other in outcomes[1:]:
+            assert other.schedulable == first.schedulable
+            assert other.virtual_deadlines == first.virtual_deadlines
+            assert other.detail == first.detail
+            assert other.iterations == first.iterations
+
+
+# -- closed-form V* ----------------------------------------------------------
+
+@st.composite
+def vstar_inputs(draw):
+    """A probe setup whose caller guarantees hold (slack >= 0, floor at or
+    above the others-half boundary)."""
+    ts = draw(mc_taskset())
+    high = [t for t in ts if t.is_high]
+    if not high:
+        ts = TaskSet(
+            list(ts)
+            + [
+                MCTask(
+                    period=20,
+                    criticality=Criticality.HC,
+                    wcet_lo=3,
+                    wcet_hi=6,
+                    deadline=16,
+                )
+            ]
+        )
+        high = [t for t in ts if t.is_high]
+    task = high[draw(st.integers(min_value=0, max_value=len(high) - 1))]
+    return ts, task
+
+
+class TestVstarOwn:
+    @given(vstar_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_own_feasible_boundary(self, inputs):
+        """vstar_own equals the minimal v in [floor_v, deadline] accepted
+        by the sequential LoShrinkProbe._own_feasible (None when even the
+        full deadline fails) — the value the bisection path settles on."""
+        ts, task = inputs
+        try:
+            scenario = DemandScenario(ts)
+            probe = LoShrinkProbe(scenario, task)
+        except dbf.HorizonExceeded:
+            return  # busy period past the cap; no probe to compare
+        if probe._infeasible_always or probe._horizon == 0:
+            return
+        if len(probe._points_o) and (probe._slack_o < 0).any():
+            return  # others alone infeasible: the V* path never runs here
+        # The others-half floor: minimal v whose demand at the others'
+        # breakpoints fits their slack (monotone in v by construction).
+        floor_v = None
+        for v in range(task.wcet_lo, task.deadline + 1):
+            x = probe._points_o - v
+            jobs = np.where(x >= 0, x // task.period + 1, 0)
+            if not np.any(jobs * task.wcet_lo > probe._slack_o):
+                floor_v = v
+                break
+        if floor_v is None:
+            return  # no feasible deadline at all; compute() returns early
+        expected = None
+        for v in range(floor_v, task.deadline + 1):
+            if probe._own_feasible(v):
+                expected = v
+                break
+        got = vstar_own(
+            probe._points_o,
+            probe._slack_o,
+            task.wcet_lo,
+            task.period,
+            task.deadline,
+            floor_v,
+            probe._horizon,
+        )
+        assert got == expected
+
+    def test_empty_window_returns_floor(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert vstar_own(empty, empty, 2, 10, 8, 3, 100) == 3
+
+
+# -- split upper-bound screen ------------------------------------------------
+
+@st.composite
+def screen_inputs(draw):
+    """(others as _ModeTask, probe params, horizon, k) for screen checks."""
+    n = draw(st.integers(min_value=0, max_value=4))
+    others = []
+    for _ in range(n):
+        period = draw(st.integers(min_value=3, max_value=40))
+        wcet = draw(st.integers(min_value=1, max_value=period))
+        deadline = draw(st.integers(min_value=1, max_value=period))
+        others.append(_ModeTask(wcet, deadline, period, wcet))
+    period = draw(st.integers(min_value=3, max_value=40))
+    wcet_lo = draw(st.integers(min_value=1, max_value=period))
+    v = draw(st.integers(min_value=1, max_value=80))
+    horizon = draw(st.integers(min_value=1, max_value=200))
+    k = draw(st.integers(min_value=1, max_value=4))
+    return others, wcet_lo, period, v, horizon, k
+
+
+class TestSplitScreen:
+    @given(screen_inputs())
+    @settings(max_examples=300, deadline=None)
+    def test_verdict_matches_one_shot_screen(self, inputs):
+        others, wcet_lo, period, v, horizon, k = inputs
+        prepared = lo_screen_prepare(others, horizon, k)
+        got = lo_screen_accepts(prepared, wcet_lo, period, v, horizon, k)
+        probe = _ModeTask(wcet_lo, v, period, wcet_lo)
+        expected = approx_accepts(others + [probe], horizon, hi=False, k=k)
+        assert got == expected
+
+    @given(screen_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_prepared_half_matches_others_only(self, inputs):
+        others, _, _, _, horizon, k = inputs
+        prepared = lo_screen_prepare(others, horizon, k)
+        assert prepared[3] == approx_accepts(others, horizon, hi=False, k=k)
+
+
+# -- vectorized ranking ------------------------------------------------------
+
+@st.composite
+def ranking_inputs(draw):
+    """(taskset, vd, violation, deficit, policy) with >= 1 HC task."""
+    ts = draw(mc_taskset())
+    if not any(t.is_high for t in ts):
+        ts = TaskSet(
+            list(ts)
+            + [
+                MCTask(
+                    period=24,
+                    criticality=Criticality.HC,
+                    wcet_lo=4,
+                    wcet_hi=9,
+                    deadline=20,
+                )
+            ]
+        )
+    vd = {}
+    for task in ts:
+        if task.is_high:
+            vd[task.task_id] = draw(
+                st.integers(min_value=task.wcet_lo, max_value=task.deadline)
+            )
+    violation = draw(st.integers(min_value=1, max_value=300))
+    deficit = draw(st.integers(min_value=1, max_value=60))
+    policy = draw(st.sampled_from(["steepest", "ratio"]))
+    return ts, vd, violation, deficit, policy
+
+
+class TestRankParity:
+    @given(ranking_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_rank_equals_scalar_rank_candidates(self, inputs):
+        ts, vd, violation, deficit, policy = inputs
+        engine = DemandEngine(ts, 100_000, memo={})
+        high = [t for t in ts if t.is_high]
+        session = DescentSession(engine, high)
+        got = session.rank(vd, violation, deficit, policy)
+        expected = _rank_candidates(high, vd, violation, deficit, policy, engine)
+        assert [(key, t.task_id, d) for key, t, d in got] == [
+            (key, t.task_id, d) for key, t, d in expected
+        ]
+
+
+# -- speculation controls and diagnostics ------------------------------------
+
+class TestSpeculationControls:
+    def test_depth_round_trip(self):
+        baseline = speculation_depth()
+        previous = set_speculation_depth(7)
+        try:
+            assert previous == baseline
+            assert speculation_depth() == 7
+        finally:
+            set_speculation_depth(previous)
+        assert speculation_depth() == baseline
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "four", None])
+    def test_invalid_depth_rejected(self, bad):
+        with pytest.raises(ValueError, match="speculation depth"):
+            set_speculation_depth(bad)
+
+    def test_kernel_registration_round_trip(self):
+        previous = set_demand_kernel("vec")
+        try:
+            assert demand_kernel() == "vec"
+        finally:
+            set_demand_kernel(previous)
+
+    def test_counters_tick_and_reset(self, vec_kernel):
+        dbf_vec.reset_vec_counters()
+        # A set dense enough that the descent runs 26 shrink iterations
+        # *and* commits the same task on consecutive iterations — the only
+        # shape that can consume a speculated settle, since speculation
+        # banks scaffolding for the last-committed candidate alone.
+        ts = TaskSet(
+            [
+                MCTask(
+                    period=32,
+                    criticality=Criticality.HC,
+                    wcet_lo=7,
+                    wcet_hi=14,
+                    deadline=32,
+                ),
+                MCTask(
+                    period=19,
+                    criticality=Criticality.HC,
+                    wcet_lo=6,
+                    wcet_hi=6,
+                    deadline=19,
+                ),
+                MCTask(
+                    period=8,
+                    criticality=Criticality.HC,
+                    wcet_lo=1,
+                    wcet_hi=1,
+                    deadline=8,
+                ),
+                MCTask(
+                    period=39,
+                    criticality=Criticality.LC,
+                    wcet_lo=11,
+                    wcet_hi=11,
+                    deadline=39,
+                ),
+            ]
+        )
+        engine = DemandEngine(ts, 100_000, memo={})
+        run_tuning_stages(ts, (("steepest", False),), 100_000, engine=engine)
+        counters = vec_counters()
+        assert set(counters) == {
+            "spec-hit",
+            "spec-waste",
+            "spec-batches",
+            "spec-width",
+        }
+        assert counters["spec-batches"] > 0
+        assert counters["spec-width"] >= counters["spec-batches"]
+        assert counters["spec-hit"] > 0
+        dbf_vec.reset_vec_counters()
+        assert all(value == 0 for value in vec_counters().values())
+
+    def test_counters_reach_obs_registry(self, vec_kernel):
+        """The spec counters live on the shared obs registry under the
+        kernel.vec scope, so worker snapshots and kernel_summary see
+        them without extra plumbing."""
+        from repro import obs
+
+        dbf_vec.reset_vec_counters()
+        dbf_vec._COUNTERS["spec-hit"] += 3
+        try:
+            assert obs.REGISTRY.counters("kernel.vec.")["kernel.vec.spec-hit"] == 3
+        finally:
+            dbf_vec.reset_vec_counters()
+
+    def test_kernel_summary_collapses_width(self):
+        """kernel_summary folds spec-batches/spec-width into the mean
+        batch width while keeping hit/waste raw."""
+        from repro.experiments.acceptance import kernel_summary
+
+        baseline = {
+            name: 0.0
+            for name in (
+                "kernel.vec.spec-hit",
+                "kernel.vec.spec-waste",
+                "kernel.vec.spec-batches",
+                "kernel.vec.spec-width",
+            )
+        }
+        dbf_vec.reset_vec_counters()
+        dbf_vec._COUNTERS["spec-hit"] += 5
+        dbf_vec._COUNTERS["spec-waste"] += 2
+        dbf_vec._COUNTERS["spec-batches"] += 4
+        dbf_vec._COUNTERS["spec-width"] += 10
+        try:
+            summary = kernel_summary()["vec"]
+        finally:
+            dbf_vec.reset_vec_counters()
+        assert summary["spec-hit"] == 5
+        assert summary["spec-waste"] == 2
+        assert summary["spec-width-mean"] == 2.5
+        assert "spec-batches" not in summary
+        assert "spec-width" not in summary

@@ -20,24 +20,36 @@ REQUIRED_FIGURE_KEYS = {
     "forward_scalar_s",
     "qpa_scalar_s",
     "qpa_batched_s",
+    "vec_scalar_s",
+    "vec_batched_s",
     "speedup_end_to_end",
+    "speedup_vec_end_to_end",
     "tasksets_per_sec_forward",
     "tasksets_per_sec_qpa",
+    "tasksets_per_sec_vec",
     "kernel_counters",
 }
 
 KERNEL_COUNTER_KEYS = {"qpa-accept", "approx-accept", "approx-reject"}
 
+SWEEP_ROW_KEYS = {
+    "seconds",
+    "tasksets_per_sec",
+    "spec_hit",
+    "spec_waste",
+    "spec_width_mean",
+}
+
 
 def test_bench_dbf_json_parses():
     data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
     assert data["samples_per_bucket"] > 0
-    assert set(data["kernels"]) == {"forward", "qpa"}
+    assert set(data["kernels"]) == {"forward", "qpa", "vec"}
 
     micro = data["microbench"]
     assert micro["tasksets"] > 0
-    assert micro["forward_s"] > 0 and micro["qpa_s"] > 0
-    assert micro["speedup"] > 0
+    assert micro["forward_s"] > 0 and micro["qpa_s"] > 0 and micro["vec_s"] > 0
+    assert micro["speedup"] > 0 and micro["speedup_vec"] > 0
     assert micro["qpa_runs"] >= 0
     assert micro["qpa_iterations_mean"] >= 0
     assert KERNEL_COUNTER_KEYS <= set(micro["settled"])
@@ -50,12 +62,25 @@ def test_bench_dbf_json_parses():
         assert row["tasksets"] > 0
         assert row["forward_scalar_s"] > 0
         assert row["qpa_scalar_s"] > 0 and row["qpa_batched_s"] > 0
+        assert row["vec_scalar_s"] > 0 and row["vec_batched_s"] > 0
         assert row["speedup_end_to_end"] > 0
+        assert row["speedup_vec_end_to_end"] > 0
         for name, counters in row["kernel_counters"].items():
             assert counters, f"{fig}/{name} has no kernel counters"
             for key, value in counters.items():
                 assert value >= 0, f"{fig}/{name} {key} negative"
+    # The vec batched slice must report live speculation diagnostics.
+    assert "vec" in figures["fig4"]["kernel_counters"]
 
-    # The context the fig4 aspiration is measured against.
-    baseline = data["committed_batch_baseline"]
-    assert baseline["fig4_m4_scalar_tasksets_per_sec"] > 0
+    sweep = data["speculation_depth_sweep"]
+    assert sweep["figure"] == "fig4" and sweep["pipeline"] == "batched"
+    assert len(sweep["depths"]) >= 2
+    for depth, row in sweep["depths"].items():
+        assert int(depth) > 0
+        missing = SWEEP_ROW_KEYS - set(row)
+        assert not missing, f"spec sweep k={depth} missing {sorted(missing)}"
+        assert row["seconds"] > 0 and row["tasksets_per_sec"] > 0
+
+    # The contexts the fig4 aspirations are measured against.
+    assert data["committed_batch_baseline"]["fig4_m4_scalar_tasksets_per_sec"] > 0
+    assert data["committed_qpa_baseline"]["fig4_m4_tasksets_per_sec"] > 0

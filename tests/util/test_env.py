@@ -3,10 +3,13 @@
 import pytest
 
 from repro.util.env import (
+    DBF_KERNELS,
     OBS_MODES,
     RUNNER_BACKENDS,
     RUNNER_STORES,
     approx_k_from_env,
+    demand_kernel_from_env,
+    spec_depth_from_env,
     heartbeat_interval_from_env,
     journal_flush_interval_from_env,
     journal_path_from_env,
@@ -73,6 +76,45 @@ class TestDbfKernelKnobs:
 
         assert dbf._SCAN_CHUNK == scan_chunk_from_env()
         assert dbf._APPROX_K == approx_k_from_env()
+
+
+class TestDemandKernelKnob:
+    def test_default_is_qpa(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DBF_KERNEL", raising=False)
+        assert demand_kernel_from_env() == "qpa"
+        assert demand_kernel_from_env(fallback="forward") == "forward"
+
+    @pytest.mark.parametrize("name", DBF_KERNELS)
+    def test_parses_every_kernel(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_DBF_KERNEL", name)
+        assert demand_kernel_from_env() == name
+
+    @pytest.mark.parametrize("bad", ["qpa2", "VEC", "fast", " qpa"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DBF_KERNEL", bad)
+        with pytest.raises(ValueError, match="REPRO_DBF_KERNEL"):
+            demand_kernel_from_env()
+
+    def test_kernel_module_reads_knob(self):
+        from repro.analysis import dbf
+
+        assert dbf._KERNEL in DBF_KERNELS
+
+
+class TestSpecDepthKnob:
+    def test_default_is_four(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DBF_SPEC_K", raising=False)
+        assert spec_depth_from_env() == 4
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DBF_SPEC_K", "8")
+        assert spec_depth_from_env() == 8
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "deep"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DBF_SPEC_K", bad)
+        with pytest.raises(ValueError, match="REPRO_DBF_SPEC_K"):
+            spec_depth_from_env()
 
 
 class TestObsMode:
