@@ -247,7 +247,7 @@ def _first_violation(points: np.ndarray, demand_fn) -> int | None:
 
 # -- kernel selection and diagnostics ---------------------------------------
 
-_KERNELS = ("qpa", "vec", "forward")
+_KERNELS = ("qpa", "vec", "block", "forward")
 # Consumed once at import, like the scan-chunk/approx-k knobs; the CLI's
 # ``--demand-kernel`` both exports the env var (for spawned workers) and
 # calls :func:`set_demand_kernel` (for this process), so the effective
@@ -273,7 +273,7 @@ _COUNTERS = _OBS_REGISTRY.counter_scope(
 
 
 def demand_kernel() -> str:
-    """The active violation-search kernel (``"qpa"``, ``"vec"`` or ``"forward"``)."""
+    """The active violation-search kernel (``qpa``/``vec``/``block``/``forward``)."""
     return _KERNEL
 
 
@@ -286,11 +286,19 @@ def set_demand_kernel(name: str) -> str:
     :mod:`repro.analysis.dbf_vec` inside the shrink-descent engine
     (closed-form V* windows, split upper-bound screens, vectorized
     candidate ranking and speculative shrink batches);
+    ``"block"`` keeps the QPA decision procedure and the vec machinery
+    and additionally lets the shrink descent commit *blocks* of
+    closed-form V* jumps across several tasks per exact probe
+    (:mod:`repro.analysis.dbf_block`) — it relaxes the bit-identical
+    *trajectory* contract of the other three to bit-identical
+    *verdicts* (same accept/reject, acceptance ratios, WAR tables and
+    shard-cache bytes; iteration counts and committed virtual deadlines
+    on accepted sets may differ);
     ``"forward"`` restores the pure chunked breakpoint enumeration — the
     differential oracle and the baseline the kernel benchmark measures
-    against.  All kernels decide the violation predicate exactly, so every
-    verdict, violation point and figure output is identical under any of
-    them.  The startup default comes from ``REPRO_DBF_KERNEL``
+    against.  All kernels decide the violation predicate exactly, so
+    every verdict, violation point and figure output is identical under
+    any of them.  The startup default comes from ``REPRO_DBF_KERNEL``
     (:func:`repro.util.env.demand_kernel_from_env`); this call overrides
     it for the current process.
     """

@@ -86,7 +86,7 @@ import numpy as np
 
 from repro.analysis import dbf as _dbf
 from repro.obs import REGISTRY as _OBS_REGISTRY
-from repro.util.env import spec_depth_from_env
+from repro.util.env import rank_vec_min_from_env, spec_depth_from_env
 
 __all__ = [
     "DescentSession",
@@ -103,12 +103,13 @@ __all__ = [
 #: (the ``REPRO_DBF_SPEC_K`` knob).  Pure cost/coverage trade.
 _SPEC_DEPTH = spec_depth_from_env()
 
-#: Candidate-set width at which array ranking overtakes the scalar loop.
-#: Below it numpy's fixed per-call overhead (~20 tiny array ops) loses to
-#: a plain loop over a handful of tasks; measured crossover on the bench
-#: host sits near two dozen HC tasks per core.  Cost-only: both paths
-#: emit identical entries.
-RANK_VEC_MIN = 24
+#: Candidate-set width at which array ranking overtakes the scalar loop
+#: (the ``REPRO_DBF_RANK_VEC_MIN`` knob).  Below it numpy's fixed
+#: per-call overhead (~20 tiny array ops) loses to a plain loop over a
+#: handful of tasks; measured crossover on the bench host sits near two
+#: dozen HC tasks per core.  Cost-only: both paths emit identical
+#: entries.
+RANK_VEC_MIN = rank_vec_min_from_env()
 
 # Always-on like the "dbf" scope: the registry hands back a mutable dict,
 # so the descent keeps plain ``+= 1`` cost while snapshots, worker->parent

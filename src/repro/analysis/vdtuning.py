@@ -55,8 +55,11 @@ import numpy as np
 
 from repro.model import MCTask, TaskSet
 from repro import obs as _obs
+from repro.util import env as _env
 from repro.analysis import dbf as _dbf
+from repro.analysis import dbf_block as _blk
 from repro.analysis import dbf_vec as _vec
+from repro.analysis import verdict_cache as _vcache
 from repro.analysis.dbf import (
     DemandScenario,
     HorizonExceeded,
@@ -86,6 +89,11 @@ _MAX_ITERATIONS = 400
 #: vectorized window / QPA machinery takes over (pure cost knob: every
 #: kernel decides the same predicate).
 _MICRO_WALK = 2
+
+#: Screen calls per scaffolding entry before the qpa kernel stops
+#: screening and pays the exact probe (the ``REPRO_DBF_SCREEN_VALVE``
+#: knob).  Screens are accept-only, so the valve is a pure cost policy.
+_SCREEN_VALVE = _env.screen_valve_from_env()
 
 
 @dataclass(frozen=True)
@@ -1059,7 +1067,7 @@ class DemandEngine:
             ok = True
         else:
             prepared[4] += 1
-            if _dbf._KERNEL == "vec":
+            if _dbf._KERNEL in ("vec", "block"):
                 # Split screen, engaged lazily: the first shot on an entry
                 # uses the one-shot screen (cheaper than building the split
                 # cache for an entry that may never be screened again); from
@@ -1093,7 +1101,7 @@ class DemandEngine:
                 # once and serve every later request from its memo entry (a
                 # pure cost policy — the V* path returns the identical
                 # shrink).
-                if prepared[4] > 2:
+                if prepared[4] > _SCREEN_VALVE:
                     return False
                 candidate = list(others)
                 candidate.append(
@@ -1170,19 +1178,33 @@ class DemandEngine:
             ):
                 return desired
 
-        def compute() -> int | None:
-            """Smallest LO-feasible virtual deadline; None when even the
-            task's full deadline is infeasible under the probe's verdicts.
+        v_min = self.lo_min_deadline(vd, task, sig_o)
+        if v_min is None:
+            return 0
+        return min(desired, max(0, base - v_min))
 
-            The probe's first check (own demand against the other tasks'
-            slack at *their* breakpoints) inverts in closed form: at slack
-            ``s`` the task may place at most ``s // C_L`` jobs, giving a
-            per-point lower bound on the deadline.  The max of those bounds
-            is verified with one :meth:`LoShrinkProbe.feasible` call (the
-            own-breakpoint check can still push higher, in which case the
-            bisection resumes above the bound) — same verdict function,
-            same minimum, far fewer probe evaluations.
-            """
+    def lo_min_deadline(
+        self, vd: dict[int, int], task: MCTask, sig_o: tuple | None = None
+    ) -> int | None:
+        """Smallest LO-feasible virtual deadline ``V*`` for ``task``; None
+        when even the task's full deadline is infeasible under the probe's
+        verdicts.  Memoized per surrounding assignment (requires the warm
+        engine) — the scalar descent's :meth:`max_lo_feasible_shrink` and
+        the block planner share the entry.
+
+        The probe's first check (own demand against the other tasks'
+        slack at *their* breakpoints) inverts in closed form: at slack
+        ``s`` the task may place at most ``s // C_L`` jobs, giving a
+        per-point lower bound on the deadline.  The max of those bounds
+        is verified with one :meth:`LoShrinkProbe.feasible` call (the
+        own-breakpoint check can still push higher, in which case the
+        bisection resumes above the bound) — same verdict function,
+        same minimum, far fewer probe evaluations.
+        """
+        if sig_o is None:
+            sig_o = self._sig_others(vd, task.task_id)
+
+        def compute() -> int | None:
             try:
                 probe = self._lo_probe_fast(vd, task, sig_o)
             except HorizonExceeded:
@@ -1201,7 +1223,7 @@ class DemandEngine:
             # At or above floor_v the other-breakpoint half holds by the
             # closed-form inversion, so only the own-breakpoint half of
             # feasible() remains to test.
-            if _dbf._KERNEL == "vec" and task.wcet_lo <= task.period:
+            if _dbf._KERNEL in ("vec", "block") and task.wcet_lo <= task.period:
                 # Same boundary, no bisection: above floor_v the own half
                 # is the whole (monotone) verdict, and its largest failing
                 # deadline inverts in closed form over the others' slack
@@ -1228,11 +1250,7 @@ class DemandEngine:
                     lo = mid + 1
             return lo
 
-        key = ("vmin", task.task_id, sig_o)
-        v_min = self._cached(key, compute)
-        if v_min is None:
-            return 0
-        return min(desired, max(0, base - v_min))
+        return self._cached(("vmin", task.task_id, sig_o), compute)
 
 
 def tune_virtual_deadlines(
@@ -1337,6 +1355,8 @@ def _tune_virtual_deadlines_impl(
         if uniform is not None:
             return uniform
 
+    if _dbf._KERNEL == "block" and engine._memo is not None:
+        return _descend_block(high_tasks, vd, policy, refine, engine)
     return _descend(high_tasks, vd, policy, refine, engine)
 
 
@@ -1355,9 +1375,18 @@ def run_tuning_stages(
     every stage builds a fresh engine, reproducing the historical
     from-scratch cost; the incremental contexts pass one memo-backed engine
     so the stages share all common dbf work.
+
+    With the opt-in verdict cache on (``REPRO_VERDICT_CACHE=on``) the
+    canonical ``(taskset, stages, horizon_cap, service)`` key is
+    consulted before any stage runs and the final outcome is recorded —
+    repeated probes of one parameter multiset (across buckets,
+    strategies or campaign resumes) never pay the descent twice.
     """
     if not stages:
         raise ValueError("at least one tuning stage is required")
+    cached = _vcache.lookup_tuning(taskset, stages, horizon_cap)
+    if cached is not None:
+        return cached
     if engine is None:
         engine = _default_engine(taskset, horizon_cap)
     outcome: TuningOutcome | None = None
@@ -1367,6 +1396,7 @@ def run_tuning_stages(
         )
         if outcome.schedulable:
             break
+    _vcache.store_tuning(taskset, stages, horizon_cap, outcome)
     return outcome
 
 
@@ -1604,6 +1634,115 @@ def _descend(
     if session is not None:
         session.retire()
     return TuningOutcome(False, vd, _MAX_ITERATIONS, "iteration cap reached")
+
+
+def _descend_block(
+    high_tasks: list[MCTask],
+    vd: dict[int, int],
+    policy: str,
+    refine: bool,
+    engine: DemandEngine,
+) -> TuningOutcome:
+    """The ``block`` kernel's descent: joint boundary jumps per probe.
+
+    Same loop shape as :func:`_descend` — one exact HI check per
+    iteration, candidates ranked once per assignment — but before taking
+    the scalar single-task step it asks :func:`repro.analysis.dbf_block.
+    plan_block` for a joint jump of several ranked candidates straight to
+    their minimal LO-feasible deadlines, each step proven exactly against
+    a virtual copy of the assignment with every earlier jump already
+    applied.  A committed block makes one iteration of progress
+    where the scalar descent would have spent one iteration (and one
+    exact probe) per task, which is the whole point: fewer distinct
+    violation fronts, fewer exact QPA iterations.
+
+    Verdict contract: any reject reached on a trajectory that committed
+    at least one block falls back to a full scalar :func:`_descend` from
+    the original assignment and returns *its* outcome — the block kernel
+    therefore never rejects a set the scalar kernels accept.  Rejects on
+    an all-scalar trajectory are returned directly (that trajectory *is*
+    the scalar one: the planner only reads memoized scaffolding).
+    Accepts stand on their own soundness — every committed deadline is
+    LO-feasible by construction and the final exact HI check passed —
+    but the descent trajectory (iteration counts, committed deadlines)
+    is not bit-identical to the scalar kernels'; the fig3–fig7
+    differential suite pins the *verdicts* to parity.
+
+    Requires the memo-backed engine (the planner reads the ``("vmin",
+    ...)``/``("lofp", ...)`` scaffolding); the dispatch in
+    :func:`_tune_virtual_deadlines_impl` guarantees it.
+    """
+    vd0 = vd
+    vd = dict(vd)
+    frozen: set[int] = set()
+    front = 0
+    jumped = False
+    current: tuple[int | None, int | None] | None = None
+    ranked: list[tuple[tuple, MCTask, int]] | None = None
+
+    def fallback(outcome: TuningOutcome) -> TuningOutcome:
+        """A reject of the block trajectory: re-run the scalar descent
+        when a block was committed (the trajectories diverged), else the
+        outcome already is the scalar one."""
+        if not jumped:
+            return outcome
+        _blk._COUNTERS["block-fallback"] += 1
+        return _descend(high_tasks, dict(vd0), policy, refine, engine)
+
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        if current is None:
+            try:
+                current = engine.hi_check(vd, refine, not_before=front)
+            except HorizonExceeded:
+                return fallback(
+                    TuningOutcome(False, vd, iteration, "HI horizon cap exceeded")
+                )
+        violation, demand = current
+        if violation is None:
+            return TuningOutcome(True, vd, iteration)
+        front = violation
+
+        deficit = demand - violation
+        if ranked is None:
+            ranked = _rank_candidates(
+                high_tasks, vd, violation, deficit, policy, engine
+            )
+
+        commits = _blk.plan_block(engine, vd, ranked, frozen, violation)
+        if commits:
+            for tid, v_new in commits.items():
+                vd[tid] = v_new
+            jumped = True
+            frozen.clear()
+            current = None
+            ranked = None
+            continue
+
+        # Residual scalar step, body-identical to _descend's.
+        candidate = None
+        for _key, task, desired in ranked:
+            if task.task_id not in frozen:
+                candidate = (task, desired)
+                break
+        if candidate is None:
+            return fallback(
+                TuningOutcome(
+                    False, vd, iteration, f"no shrinkable task at l*={violation}"
+                )
+            )
+        task, desired = candidate
+        shrink = engine.max_lo_feasible_shrink(vd, task, desired)
+        if shrink == 0 or engine.hi_gain(task, vd[task.task_id], shrink, violation) <= 0:
+            frozen.add(task.task_id)
+            continue
+        vd[task.task_id] -= shrink
+        frozen.clear()
+        current = None
+        ranked = None
+
+    return fallback(
+        TuningOutcome(False, vd, _MAX_ITERATIONS, "iteration cap reached")
+    )
 
 
 def _rank_candidates(

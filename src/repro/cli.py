@@ -173,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument(
         "--demand-kernel",
-        choices=("forward", "qpa", "vec"),
+        choices=("forward", "qpa", "vec", "block"),
         default=None,
         help=(
             "demand-kernel stack for the dbf analyses (default: "
@@ -273,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--demand-kernel",
-        choices=("forward", "qpa", "vec"),
+        choices=("forward", "qpa", "vec", "block"),
         default=None,
         help=(
             "demand-kernel stack for the dbf analyses (default: "
@@ -368,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--demand-kernel",
-        choices=("forward", "qpa", "vec"),
+        choices=("forward", "qpa", "vec", "block"),
         default=None,
         help=(
             "demand-kernel stack for the dbf analyses (default: "

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.model import MCTask, TaskSet
 from repro import obs as _obs
+from repro.analysis import verdict_cache as _vcache
 from repro.analysis.interface import SchedulabilityTest
 
 __all__ = [
@@ -274,6 +275,14 @@ def partition(
             "SchedulabilityTest.supports_service_model; e.g. the AMC "
             "analyses assume drop-at-switch)",
         )
+    # Opt-in canonical verdict cache: repeated (taskset, m, test,
+    # strategy, service) probes — across sweep buckets, strategies and
+    # campaign resumes — replay the recorded placement instead of paying
+    # the probes again.  Consulted after the support checks so unsupported
+    # pairings keep raising their typed errors.
+    cached = _vcache.lookup_partition(taskset, m, test, strategy)
+    if cached is not None:
+        return cached
     processors = [ProcessorState(i, service=service) for i in range(m)]
     contexts = None
     if incremental:
@@ -304,7 +313,7 @@ def partition(
                 break
         if not placed:
             _record_partition_metrics(strategy.name, fit_attempts, commits, False)
-            return PartitionResult(
+            result = PartitionResult(
                 success=False,
                 strategy_name=strategy.name,
                 test_name=test.name,
@@ -313,8 +322,10 @@ def partition(
                 assignment=assignment,
                 failed_task=task,
             )
+            _vcache.store_partition(taskset, m, test, strategy, result)
+            return result
     _record_partition_metrics(strategy.name, fit_attempts, commits, True)
-    return PartitionResult(
+    result = PartitionResult(
         success=True,
         strategy_name=strategy.name,
         test_name=test.name,
@@ -322,6 +333,8 @@ def partition(
         cores=tuple(p.taskset() for p in processors),
         assignment=assignment,
     )
+    _vcache.store_partition(taskset, m, test, strategy, result)
+    return result
 
 
 def _record_partition_metrics(

@@ -247,10 +247,18 @@ def kernel_summary(
     ``spec-hit`` / ``spec-waste`` settles plus the batch/width totals
     collapsed to ``spec-width-mean`` (mean candidates per batch).
 
+    With recording on (``REPRO_OBS`` at ``metrics`` or above) a
+    ``descent`` row is added from the ``descent.iterations`` histogram —
+    trajectory lengths per tuning probe as ``iters-count`` /
+    ``iters-p50`` / ``iters-p95`` / ``iters-p99`` — the per-probe view
+    the block kernel's fewer-iterations claim is measured by.
+
     The registry accumulates for the process lifetime; pass ``since`` (an
     earlier ``REGISTRY.counters("kernel.")`` snapshot) to report only what
     one run contributed.  Shards loaded from cache contribute nothing,
-    exactly as before the registry migration.
+    exactly as before the registry migration.  (``since`` baselines the
+    *counters*; the histogram row is always lifetime-to-date — quantiles
+    do not subtract.)
     """
     from repro import obs as _obs
 
@@ -272,6 +280,16 @@ def kernel_summary(
         width = counts.pop("spec-width", 0)
         if batches:
             counts["spec-width-mean"] = round(width / batches, 2)
+    histogram = _obs.REGISTRY.histogram("descent.iterations")
+    if histogram is not None:
+        stats = histogram.summary()
+        if stats["count"]:
+            summary["descent"] = {
+                "iters-count": stats["count"],
+                "iters-p50": stats["p50"],
+                "iters-p95": stats["p95"],
+                "iters-p99": stats["p99"],
+            }
     return summary
 
 

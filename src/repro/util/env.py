@@ -5,14 +5,16 @@ Two knobs control experiment scale everywhere (figures, benchmarks, CI):
 * ``REPRO_SAMPLES`` — task sets per ``UB`` bucket (the paper used 1000).
 * ``REPRO_M`` — comma-separated processor counts (the paper swept 2,4,8).
 
-Four more tune the demand kernel of :mod:`repro.analysis.dbf`:
+Six more tune the demand kernel of :mod:`repro.analysis.dbf`:
 
-* ``REPRO_DBF_KERNEL`` — ``forward``, ``qpa`` (default) or ``vec``: the
-  demand-kernel stack used for violation searches and shrink descents.
-  All three kernels are bit-identical in results; they differ only in
-  machinery (see :func:`repro.analysis.dbf.set_demand_kernel`).  The
-  resolution order is instance (``set_demand_kernel``) > CLI
-  (``--demand-kernel``) > this knob > default.
+* ``REPRO_DBF_KERNEL`` — ``forward``, ``qpa`` (default), ``vec`` or
+  ``block``: the demand-kernel stack used for violation searches and
+  shrink descents.  ``forward``/``qpa``/``vec`` are bit-identical down
+  to the descent *trajectory*; ``block`` commits multi-task shrinks in
+  one step and is verdict-identical only (see
+  :func:`repro.analysis.dbf.set_demand_kernel`).  The resolution order
+  is instance (``set_demand_kernel``) > CLI (``--demand-kernel``) >
+  this knob > default.
 * ``REPRO_DBF_SPEC_K`` — speculation depth ``k`` of the ``vec`` kernel's
   speculative shrink descent (default 4): how many ranked candidates per
   descent assignment get their screens pre-evaluated in one batch.
@@ -22,6 +24,31 @@ Four more tune the demand kernel of :mod:`repro.analysis.dbf`:
 * ``REPRO_DBF_APPROX_K`` — exact-step depth ``k`` of the Fisher–Baruah
   style dbf upper-bound screens (default 3); the screens stay sound for
   every positive ``k``, larger values trade screen cost for coverage.
+* ``REPRO_DBF_RANK_VEC_MIN`` — candidate-count crossover at which the
+  vec/block descent switches from the scalar ranking loop to the
+  vectorized one (default 24).  Both rankings compute IEEE-identical
+  sort keys, so this is a pure cost knob.
+* ``REPRO_DBF_SCREEN_VALVE`` — the qpa accept-screen cost valve: after
+  this many screen calls on one ``(task, assignment)`` scaffolding
+  entry the qpa kernel stops screening and pays the exact probe
+  (default 2).  Screens are accept-only, so any positive value is
+  sound; the vec/block split screen ignores the valve (its marginal
+  shot is O(k)).
+
+Three configure the canonical verdict cache of
+:mod:`repro.analysis.verdict_cache` (opt-in; default off):
+
+* ``REPRO_VERDICT_CACHE`` — ``off`` (default) or ``on``: consult the
+  canonical task-set verdict cache in ``partition()`` and
+  ``run_tuning_stages`` before any descent runs.  Keys are order- and
+  id-normalized, so identically-parameterized task sets submitted in a
+  different order hit; the float folds inside the descent are order
+  sensitive, which is why the cache is opt-in rather than the default.
+* ``REPRO_VERDICT_CACHE_SIZE`` — in-process LRU capacity in entries
+  (default 4096).
+* ``REPRO_VERDICT_CACHE_DIR`` — directory for the optional persistent
+  tier (a shard-store blob bucket); empty (default) keeps the cache
+  purely in-process.
 
 And one selects the observability recorder of :mod:`repro.obs`:
 
@@ -72,6 +99,11 @@ __all__ = [
     "approx_k_from_env",
     "demand_kernel_from_env",
     "spec_depth_from_env",
+    "rank_vec_min_from_env",
+    "screen_valve_from_env",
+    "verdict_cache_from_env",
+    "verdict_cache_size_from_env",
+    "verdict_cache_dir_from_env",
     "obs_mode_from_env",
     "journal_path_from_env",
     "journal_flush_interval_from_env",
@@ -85,8 +117,9 @@ __all__ = [
 #: Valid ``REPRO_OBS`` values, in increasing collection order.
 OBS_MODES = ("off", "metrics", "trace")
 
-#: Valid demand kernels, in increasing machinery order.
-DBF_KERNELS = ("forward", "qpa", "vec")
+#: Valid demand kernels, in increasing machinery order.  The first three
+#: are trajectory-identical; ``block`` is verdict-identical only.
+DBF_KERNELS = ("forward", "qpa", "vec", "block")
 
 #: Valid executor backends, in increasing machinery order ("" = auto).
 RUNNER_BACKENDS = ("serial", "pool", "cluster")
@@ -149,9 +182,10 @@ def approx_k_from_env(fallback: int = 3) -> int:
 def demand_kernel_from_env(fallback: str = "qpa") -> str:
     """Demand kernel: ``REPRO_DBF_KERNEL`` or ``fallback``.
 
-    Accepts exactly ``forward``, ``qpa`` or ``vec``; anything else raises
-    :class:`ValueError` — all three produce bit-identical results, but a
-    typo must not silently run a benchmark on the wrong machinery.
+    Accepts exactly ``forward``, ``qpa``, ``vec`` or ``block``; anything
+    else raises :class:`ValueError` — all four produce identical
+    verdicts, but a typo must not silently run a benchmark on the wrong
+    machinery.
     """
     raw = os.environ.get("REPRO_DBF_KERNEL", "")
     if not raw:
@@ -167,6 +201,71 @@ def demand_kernel_from_env(fallback: str = "qpa") -> str:
 def spec_depth_from_env(fallback: int = 4) -> int:
     """Speculation depth ``k`` of the vec descent: ``REPRO_DBF_SPEC_K``."""
     return positive_int_env("REPRO_DBF_SPEC_K", fallback)
+
+
+def rank_vec_min_from_env(fallback: int = 24) -> int:
+    """Vectorized-ranking crossover: ``REPRO_DBF_RANK_VEC_MIN``.
+
+    Below this many descent candidates the scalar ranking loop wins on
+    numpy's fixed per-call overhead; at or above it the column ranking
+    takes over.  Both compute identical sort keys — a pure cost knob.
+    """
+    return positive_int_env("REPRO_DBF_RANK_VEC_MIN", fallback)
+
+
+def screen_valve_from_env(fallback: int = 2) -> int:
+    """QPA accept-screen cost valve: ``REPRO_DBF_SCREEN_VALVE``.
+
+    After this many screen calls on one scaffolding entry the qpa kernel
+    stops screening and pays the exact probe.  Screens are accept-only,
+    so every positive value is sound; larger values trade repeated
+    screen cost for probe avoidance.
+    """
+    return positive_int_env("REPRO_DBF_SCREEN_VALVE", fallback)
+
+
+def verdict_cache_from_env(fallback: str = "off") -> str:
+    """Verdict-cache switch: ``REPRO_VERDICT_CACHE`` or ``fallback``.
+
+    Accepts exactly ``off`` or ``on``.  Opt-in because the canonical
+    (order-normalized) keys identify task sets up to reordering while
+    the descent's float folds are order sensitive — the default keeps
+    bit-for-bit reproducibility of unordered submissions.
+    """
+    raw = os.environ.get("REPRO_VERDICT_CACHE", "")
+    if not raw:
+        return fallback
+    if raw not in ("off", "on"):
+        raise ValueError(
+            f"REPRO_VERDICT_CACHE must be off|on, got {raw!r}"
+        )
+    return raw
+
+
+def verdict_cache_size_from_env(fallback: int = 4096) -> int:
+    """In-process verdict-cache LRU capacity: ``REPRO_VERDICT_CACHE_SIZE``."""
+    return positive_int_env("REPRO_VERDICT_CACHE_SIZE", fallback)
+
+
+def verdict_cache_dir_from_env(fallback: str = "") -> str:
+    """Persistent verdict-cache directory: ``REPRO_VERDICT_CACHE_DIR``.
+
+    ``""`` means "in-process only".  A value naming an existing *file*
+    raises — the persistent tier is a shard-store blob bucket rooted at
+    a directory.
+    """
+    raw = os.environ.get("REPRO_VERDICT_CACHE_DIR", "")
+    if not raw:
+        return fallback
+    if raw.strip() != raw or not raw.strip():
+        raise ValueError(
+            f"REPRO_VERDICT_CACHE_DIR must be a directory path, got {raw!r}"
+        )
+    if os.path.isfile(raw):
+        raise ValueError(
+            f"REPRO_VERDICT_CACHE_DIR must name a directory, not a file: {raw!r}"
+        )
+    return raw
 
 
 def obs_mode_from_env(fallback: str = "off") -> str:

@@ -388,7 +388,7 @@ class TestWindowTiling:
 
 class TestKernelControls:
     def test_kernel_switch_round_trip(self):
-        assert demand_kernel() in ("qpa", "forward", "vec")
+        assert demand_kernel() in ("qpa", "forward", "vec", "block")
         previous = set_demand_kernel("forward")
         try:
             assert demand_kernel() == "forward"

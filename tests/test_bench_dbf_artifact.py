@@ -22,15 +22,28 @@ REQUIRED_FIGURE_KEYS = {
     "qpa_batched_s",
     "vec_scalar_s",
     "vec_batched_s",
+    "block_batched_s",
     "speedup_end_to_end",
     "speedup_vec_end_to_end",
+    "speedup_block_end_to_end",
     "tasksets_per_sec_forward",
     "tasksets_per_sec_qpa",
     "tasksets_per_sec_vec",
+    "tasksets_per_sec_block",
     "kernel_counters",
+    "descent_iterations",
 }
 
 KERNEL_COUNTER_KEYS = {"qpa-accept", "approx-accept", "approx-reject"}
+
+BLOCK_PLANNER_KEYS = {
+    "block-jumps",
+    "block-settled",
+    "block-residual",
+    "block-fallback",
+}
+
+ITERS_ROW_KEYS = {"descents", "iterations", "iterations_mean"}
 
 SWEEP_ROW_KEYS = {
     "seconds",
@@ -44,15 +57,27 @@ SWEEP_ROW_KEYS = {
 def test_bench_dbf_json_parses():
     data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
     assert data["samples_per_bucket"] > 0
-    assert set(data["kernels"]) == {"forward", "qpa", "vec"}
+    assert set(data["kernels"]) == {"forward", "qpa", "vec", "block"}
 
     micro = data["microbench"]
     assert micro["tasksets"] > 0
     assert micro["forward_s"] > 0 and micro["qpa_s"] > 0 and micro["vec_s"] > 0
+    assert micro["block_s"] > 0
     assert micro["speedup"] > 0 and micro["speedup_vec"] > 0
+    assert micro["speedup_block"] > 0
     assert micro["qpa_runs"] >= 0
     assert micro["qpa_iterations_mean"] >= 0
     assert KERNEL_COUNTER_KEYS <= set(micro["settled"])
+    assert BLOCK_PLANNER_KEYS <= set(micro["block"])
+    for kernel in ("forward", "qpa", "vec", "block"):
+        row = micro["descent_iterations"][kernel]
+        assert ITERS_ROW_KEYS <= set(row)
+        assert row["iterations"] >= 0
+    # The kernel's whole case: fewer exact iterations on the same work.
+    assert (
+        micro["descent_iterations"]["block"]["iterations"]
+        <= micro["descent_iterations"]["qpa"]["iterations"]
+    )
 
     figures = data["figures"]
     assert "fig4" in figures and "fig5" in figures
@@ -63,8 +88,18 @@ def test_bench_dbf_json_parses():
         assert row["forward_scalar_s"] > 0
         assert row["qpa_scalar_s"] > 0 and row["qpa_batched_s"] > 0
         assert row["vec_scalar_s"] > 0 and row["vec_batched_s"] > 0
+        assert row["block_batched_s"] > 0
         assert row["speedup_end_to_end"] > 0
         assert row["speedup_vec_end_to_end"] > 0
+        assert row["speedup_block_end_to_end"] > 0
+        iters = row["descent_iterations"]
+        assert ITERS_ROW_KEYS <= set(iters["qpa_batched"])
+        assert ITERS_ROW_KEYS <= set(iters["block_batched"])
+        assert (
+            iters["block_batched"]["iterations"]
+            <= iters["qpa_batched"]["iterations"]
+        )
+        assert iters["reduction"] >= 0
         for name, counters in row["kernel_counters"].items():
             assert counters, f"{fig}/{name} has no kernel counters"
             for key, value in counters.items():
@@ -80,6 +115,16 @@ def test_bench_dbf_json_parses():
         missing = SWEEP_ROW_KEYS - set(row)
         assert not missing, f"spec sweep k={depth} missing {sorted(missing)}"
         assert row["seconds"] > 0 and row["tasksets_per_sec"] > 0
+
+    cache = data["verdict_cache"]
+    assert cache["figure"] == "fig4" and cache["pipeline"] == "batched"
+    assert cache["cold_s"] > 0 and cache["warm_s"] > 0
+    assert cache["speedup_warm"] > 0
+    assert {"hit", "miss", "store"} <= set(cache["cold"])
+    assert {"hit", "miss", "store"} <= set(cache["warm"])
+    # Same process, same submission order: the warm pass must be served
+    # almost entirely from the canonical cache.
+    assert cache["warm_hit_rate"] > 0.5
 
     # The contexts the fig4 aspirations are measured against.
     assert data["committed_batch_baseline"]["fig4_m4_scalar_tasksets_per_sec"] > 0

@@ -18,6 +18,7 @@ ARTIFACT = REPO_ROOT / "BENCH_obs.json"
 REQUIRED_TOP_KEYS = {
     "schema",
     "mode",
+    "kernel",
     "counters",
     "gauges",
     "histograms",
@@ -34,6 +35,7 @@ def test_bench_obs_json_parses():
     assert not missing, f"snapshot missing {sorted(missing)}"
     assert data["schema"] == "repro-obs-snapshot/1"
     assert data["mode"] == "trace"
+    assert data["kernel"] in {"forward", "qpa", "vec", "block"}
 
     counters = data["counters"]
     assert list(counters) == sorted(counters)

@@ -21,8 +21,13 @@ from repro.util.env import (
     positive_int_env,
     runner_backend_from_env,
     runner_store_from_env,
+    rank_vec_min_from_env,
     samples_from_env,
     scan_chunk_from_env,
+    screen_valve_from_env,
+    verdict_cache_dir_from_env,
+    verdict_cache_from_env,
+    verdict_cache_size_from_env,
 )
 
 
@@ -266,3 +271,88 @@ class TestMValues:
         monkeypatch.setenv("REPRO_M", bad)
         with pytest.raises(ValueError, match="REPRO_M"):
             m_values_from_env()
+
+
+class TestRankVecMinKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DBF_RANK_VEC_MIN", raising=False)
+        assert rank_vec_min_from_env() == 24
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DBF_RANK_VEC_MIN", "8")
+        assert rank_vec_min_from_env() == 8
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "lots", "2.5"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DBF_RANK_VEC_MIN", bad)
+        with pytest.raises(ValueError, match="REPRO_DBF_RANK_VEC_MIN"):
+            rank_vec_min_from_env()
+
+    def test_vec_module_reads_knob(self):
+        """Consumed once at import, like the other kernel knobs."""
+        from repro.analysis import dbf_vec
+
+        assert dbf_vec.RANK_VEC_MIN == rank_vec_min_from_env()
+
+
+class TestScreenValveKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DBF_SCREEN_VALVE", raising=False)
+        assert screen_valve_from_env() == 2
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DBF_SCREEN_VALVE", "5")
+        assert screen_valve_from_env() == 5
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "forever"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DBF_SCREEN_VALVE", bad)
+        with pytest.raises(ValueError, match="REPRO_DBF_SCREEN_VALVE"):
+            screen_valve_from_env()
+
+    def test_tuning_module_reads_knob(self):
+        from repro.analysis import vdtuning
+
+        assert vdtuning._SCREEN_VALVE == screen_valve_from_env()
+
+
+class TestVerdictCacheKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERDICT_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_VERDICT_CACHE_SIZE", raising=False)
+        monkeypatch.delenv("REPRO_VERDICT_CACHE_DIR", raising=False)
+        assert verdict_cache_from_env() == "off"
+        assert verdict_cache_size_from_env() == 4096
+        assert verdict_cache_dir_from_env() == ""
+
+    def test_parses_values(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_VERDICT_CACHE", "on")
+        monkeypatch.setenv("REPRO_VERDICT_CACHE_SIZE", "16")
+        monkeypatch.setenv("REPRO_VERDICT_CACHE_DIR", str(tmp_path))
+        assert verdict_cache_from_env() == "on"
+        assert verdict_cache_size_from_env() == 16
+        assert verdict_cache_dir_from_env() == str(tmp_path)
+
+    @pytest.mark.parametrize("bad", ["ON", "yes", "1", "true"])
+    def test_rejects_invalid_switch(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_VERDICT_CACHE", bad)
+        with pytest.raises(ValueError, match="REPRO_VERDICT_CACHE"):
+            verdict_cache_from_env()
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "big"])
+    def test_rejects_invalid_size(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_VERDICT_CACHE_SIZE", bad)
+        with pytest.raises(ValueError, match="REPRO_VERDICT_CACHE_SIZE"):
+            verdict_cache_size_from_env()
+
+    def test_rejects_padded_dir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERDICT_CACHE_DIR", " /tmp/cache ")
+        with pytest.raises(ValueError, match="REPRO_VERDICT_CACHE_DIR"):
+            verdict_cache_dir_from_env()
+
+    def test_rejects_existing_file(self, monkeypatch, tmp_path):
+        blob = tmp_path / "not-a-dir"
+        blob.write_text("x")
+        monkeypatch.setenv("REPRO_VERDICT_CACHE_DIR", str(blob))
+        with pytest.raises(ValueError, match="REPRO_VERDICT_CACHE_DIR"):
+            verdict_cache_dir_from_env()
